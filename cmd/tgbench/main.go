@@ -1,0 +1,69 @@
+// Command tgbench regenerates every table and figure of the paper's
+// evaluation (plus the protocol-claim experiments E4–E14) and prints a
+// paper-vs-measured comparison for each. See DESIGN.md for the
+// experiment index and EXPERIMENTS.md for recorded results.
+//
+// Usage:
+//
+//	tgbench            # run everything
+//	tgbench -exp E1    # run one experiment
+//	tgbench -json      # machine-readable results
+//	tgbench -list      # list experiment ids and titles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"telegraphos/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "", "run a single experiment (E1..E14)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	asJSON := flag.Bool("json", false, "emit results as JSON")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			r := experiments.Get(id)()
+			fmt.Printf("%-4s %s [%s]\n", r.ID, r.Title, r.Artifact)
+		}
+		return
+	}
+
+	var results []*experiments.Result
+	if *exp != "" {
+		run := experiments.Get(*exp)
+		if run == nil {
+			fmt.Fprintf(os.Stderr, "tgbench: unknown experiment %q (try -list)\n", *exp)
+			os.Exit(2)
+		}
+		results = append(results, run())
+	} else {
+		results = experiments.RunAll()
+	}
+
+	if *asJSON {
+		if err := experiments.WriteJSON(os.Stdout, results); err != nil {
+			fmt.Fprintf(os.Stderr, "tgbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	allOK := true
+	for _, r := range results {
+		fmt.Print(r.Format())
+		fmt.Println()
+		if !r.Ok() {
+			allOK = false
+		}
+	}
+	if !allOK {
+		fmt.Println("RESULT: some experiments did not match the paper's shape")
+		os.Exit(1)
+	}
+	fmt.Printf("RESULT: all %d experiments match the paper's shape\n", len(results))
+}

@@ -1,0 +1,43 @@
+// Command tggates prints the Telegraphos I HIB hardware inventory —
+// the reproduction of the paper's Table 1. Logic gate counts are the
+// published design constants; SRAM sizes are computed from the
+// configured capacities, so resizing the machine updates the table.
+//
+// Usage:
+//
+//	tggates
+//	tggates -multicast 32768 -pages 131072 -mem 33554432
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"telegraphos/internal/gates"
+	"telegraphos/internal/params"
+)
+
+func main() {
+	mcast := flag.Int("multicast", 0, "multicast list entries (default: Table 1's 16K)")
+	pages := flag.Int("pages", 0, "page-access-counter pages (default: Table 1's 64K)")
+	mem := flag.Int("mem", 0, "MPM bytes (default: Table 1's 16MB)")
+	flag.Parse()
+
+	s := params.DefaultSizing()
+	if *mcast > 0 {
+		s.MulticastEntries = *mcast
+	}
+	if *pages > 0 {
+		s.PageCounterPages = *pages
+	}
+	if *mem > 0 {
+		s.MemBytes = *mem
+	}
+
+	fmt.Println("Table 1: Gate Count for Telegraphos I HIB")
+	fmt.Println()
+	fmt.Print(gates.Format(gates.Inventory(s)))
+	fmt.Println()
+	fmt.Printf("Shared-memory support: %d gates (paper: \"very small: 2700 gates and a few kilobits of memory\")\n",
+		gates.SharedMemoryLogic(s))
+}

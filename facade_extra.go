@@ -1,0 +1,63 @@
+package telegraphos
+
+import (
+	"telegraphos/internal/addrspace"
+	"telegraphos/internal/msg"
+	"telegraphos/internal/paging"
+	"telegraphos/internal/profile"
+	"telegraphos/internal/sim"
+)
+
+// MsgSystem is the OS-mediated (PVM/sockets-style) messaging baseline:
+// every send and receive traps into the kernel and delivery raises an
+// interrupt. Use it to feel the overhead Telegraphos removes.
+type MsgSystem = msg.System
+
+// NewMsgSystem installs OS-mediated messaging on the cluster.
+func (c *Cluster) NewMsgSystem() *MsgSystem { return msg.NewSystem(c.Cluster) }
+
+// Paging re-exports (the remote-memory paging substrate of §2.2.6/[21]).
+type (
+	// PagingConfig parameterizes a paging run.
+	PagingConfig = paging.Config
+	// PagingBackend selects disk or remote-memory paging.
+	PagingBackend = paging.Backend
+	// PagingResult summarizes a paging run.
+	PagingResult = paging.Result
+	// PageRef is one page reference of a paging workload.
+	PageRef = paging.Ref
+)
+
+// Paging backends.
+const (
+	// PageToDisk pages to the local disk.
+	PageToDisk = paging.Disk
+	// PageToRemoteMemory pages to a memory-server node over Telegraphos.
+	PageToRemoteMemory = paging.RemoteMemory
+)
+
+// GenPageRefs generates a page-reference string with temporal locality.
+func GenPageRefs(seed int64, n, pages int, locality, writeFrac float64) []PageRef {
+	return paging.GenRefs(seed, n, pages, locality, writeFrac)
+}
+
+// RunPaging replays refs on node `node` under cfg. The cluster is
+// consumed by the run (it drives the simulation to completion).
+func (c *Cluster) RunPaging(node int, cfg PagingConfig, refs []PageRef) (PagingResult, error) {
+	return paging.Run(c.Cluster, node, cfg, refs)
+}
+
+// Profiler monitors remote-page access patterns through the HIB's page
+// access counters (§2.2.6) — the hot-spot/statistics use of the
+// hardware.
+type Profiler = profile.Profiler
+
+// GPage is a cluster-wide page identity.
+type GPage = addrspace.GPage
+
+// NewProfiler arms the page access counters for the pages containing
+// each va (as accessed from node) and samples them every period for
+// duration. Call Stop on the result to end monitoring early.
+func (c *Cluster) NewProfiler(node int, period, duration sim.Time, vas ...VAddr) *Profiler {
+	return profile.New(c.Cluster, node, period, duration, vas...)
+}

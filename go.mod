@@ -1,0 +1,3 @@
+module telegraphos
+
+go 1.22

@@ -1,0 +1,187 @@
+// Package addrspace defines the address formats shared by every layer of
+// the Telegraphos simulator: node identifiers, node-local physical
+// addresses, global (node, offset) addresses, virtual addresses, and the
+// bit-field conventions the paper relies on.
+//
+// The paper (§2.2.1) maps remote memory into the I/O-bus physical address
+// space: "the highest order bits of each physical address denote the node
+// identification on which the physical memory location resides". §2.2.4
+// adds shadow addressing: "an address differs from its shadow only in the
+// highest bit". This package encodes both conventions:
+//
+//	PAddr bit layout (node-local physical address as seen by the CPU/bus):
+//	  63       shadow bit — shadow addressing for special-op launch (§2.2.4)
+//	  62       I/O bit    — access goes to the TurboChannel, not local DRAM
+//	  61       HIB-register bit (meaningful when I/O set)
+//	  60..45   target node id (meaningful when I/O set, HIB-register clear)
+//	  44..0    byte offset within the target's memory (or register number)
+package addrspace
+
+import "fmt"
+
+// WordSize is the machine word in bytes (Alpha: 64-bit words).
+const WordSize = 8
+
+// DefaultPageSize is the simulated page size in bytes (Alpha: 8 KB).
+const DefaultPageSize = 8192
+
+// NodeID identifies a workstation in the cluster.
+type NodeID uint16
+
+// String renders "n3".
+func (n NodeID) String() string { return fmt.Sprintf("n%d", uint16(n)) }
+
+// PAddr is a node-local physical address with the bit fields documented in
+// the package comment.
+type PAddr uint64
+
+// Bit positions and masks of the PAddr fields.
+const (
+	ShadowBit  PAddr = 1 << 63
+	IOBit      PAddr = 1 << 62
+	HIBRegBit  PAddr = 1 << 61
+	nodeShift        = 45
+	nodeMask   PAddr = 0xFFFF << nodeShift
+	OffsetMask PAddr = (1 << nodeShift) - 1
+)
+
+// LocalPA returns the plain local-DRAM physical address for a byte offset.
+func LocalPA(offset uint64) PAddr { return PAddr(offset) & OffsetMask }
+
+// RemotePA returns the I/O-space physical address through which the local
+// CPU reaches byte offset `offset` of node `node`'s memory.
+func RemotePA(node NodeID, offset uint64) PAddr {
+	return IOBit | PAddr(node)<<nodeShift | PAddr(offset)&OffsetMask
+}
+
+// HIBRegPA returns the physical address of local HIB control register reg.
+func HIBRegPA(reg uint64) PAddr { return IOBit | HIBRegBit | PAddr(reg)&OffsetMask }
+
+// IsIO reports whether the address routes to the I/O bus.
+func (a PAddr) IsIO() bool { return a&IOBit != 0 }
+
+// IsHIBReg reports whether the address names a local HIB register.
+func (a PAddr) IsHIBReg() bool { return a&(IOBit|HIBRegBit) == IOBit|HIBRegBit }
+
+// IsShadow reports whether the shadow bit is set.
+func (a PAddr) IsShadow() bool { return a&ShadowBit != 0 }
+
+// WithShadow returns the address with the shadow bit set.
+func (a PAddr) WithShadow() PAddr { return a | ShadowBit }
+
+// ClearShadow returns the address with the shadow bit cleared — what the
+// HIB does after latching a shadow store ("strips the highest order bit",
+// §2.2.4).
+func (a PAddr) ClearShadow() PAddr { return a &^ ShadowBit }
+
+// Node extracts the target node id of an I/O-space address.
+func (a PAddr) Node() NodeID { return NodeID((a & nodeMask) >> nodeShift) }
+
+// Offset extracts the byte offset within the target memory.
+func (a PAddr) Offset() uint64 { return uint64(a & OffsetMask) }
+
+// String renders the address with its routing fields.
+func (a PAddr) String() string {
+	s := ""
+	if a.IsShadow() {
+		s = "σ"
+	}
+	if a.IsHIBReg() {
+		return fmt.Sprintf("%shibreg:%#x", s, a.Offset())
+	}
+	if a.IsIO() {
+		return fmt.Sprintf("%sio:%v+%#x", s, a.Node(), a.Offset())
+	}
+	return fmt.Sprintf("%smem:%#x", s, a.Offset())
+}
+
+// GAddr is a global address: the identity of a memory word cluster-wide,
+// independent of which node is accessing it. It is (home node, byte
+// offset in the home node's memory).
+type GAddr uint64
+
+// NewGAddr builds a global address.
+func NewGAddr(node NodeID, offset uint64) GAddr {
+	return GAddr(node)<<nodeShift | GAddr(offset)&GAddr(OffsetMask)
+}
+
+// Node reports the home node.
+func (g GAddr) Node() NodeID { return NodeID(g >> nodeShift) }
+
+// Offset reports the byte offset within the home node's memory.
+func (g GAddr) Offset() uint64 { return uint64(g) & uint64(OffsetMask) }
+
+// PAFrom returns the physical address through which node `from` reaches
+// this global address: a plain local address when from is the home node,
+// an I/O-space remote address otherwise.
+func (g GAddr) PAFrom(from NodeID) PAddr {
+	if g.Node() == from {
+		return LocalPA(g.Offset())
+	}
+	return RemotePA(g.Node(), g.Offset())
+}
+
+// Add returns the global address offset by delta bytes (same home node).
+func (g GAddr) Add(delta uint64) GAddr { return NewGAddr(g.Node(), g.Offset()+delta) }
+
+// String renders "n2+0x1000".
+func (g GAddr) String() string { return fmt.Sprintf("%v+%#x", g.Node(), g.Offset()) }
+
+// GAddrOfPA reconstructs the global identity of a physical address as seen
+// from node self: an I/O address names (its node field, offset); a local
+// address names (self, offset). HIB-register addresses have no global
+// identity and map to (self, offset) with ok=false.
+func GAddrOfPA(self NodeID, a PAddr) (GAddr, bool) {
+	if a.IsHIBReg() {
+		return NewGAddr(self, a.Offset()), false
+	}
+	if a.IsIO() {
+		return NewGAddr(a.Node(), a.Offset()), true
+	}
+	return NewGAddr(self, a.Offset()), true
+}
+
+// VAddr is a process virtual address. Bit 63 selects the shadow image of
+// the mapping (§2.2.4): a store to VAddr|VShadowBit passes the translated
+// physical address to the HIB instead of performing the store.
+type VAddr uint64
+
+// VShadowBit selects the shadow image of a virtual mapping.
+const VShadowBit VAddr = 1 << 63
+
+// IsShadow reports whether the virtual address is in the shadow half.
+func (v VAddr) IsShadow() bool { return v&VShadowBit != 0 }
+
+// Base returns the non-shadow image of the virtual address.
+func (v VAddr) Base() VAddr { return v &^ VShadowBit }
+
+// Shadow returns the shadow image of the virtual address.
+func (v VAddr) Shadow() VAddr { return v | VShadowBit }
+
+// PageNum identifies a page within one node's memory (offset / page size).
+type PageNum uint64
+
+// PageOf returns the page number containing byte offset off.
+func PageOf(off uint64, pageSize int) PageNum { return PageNum(off / uint64(pageSize)) }
+
+// PageBase returns the byte offset of the first byte of page pn.
+func PageBase(pn PageNum, pageSize int) uint64 { return uint64(pn) * uint64(pageSize) }
+
+// GPage is a cluster-wide page identity: (home node, page number).
+type GPage struct {
+	Node NodeID
+	Page PageNum
+}
+
+// GPageOf returns the global page containing global address g.
+func GPageOf(g GAddr, pageSize int) GPage {
+	return GPage{Node: g.Node(), Page: PageOf(g.Offset(), pageSize)}
+}
+
+// Base returns the global address of the page's first byte.
+func (gp GPage) Base(pageSize int) GAddr {
+	return NewGAddr(gp.Node, PageBase(gp.Page, pageSize))
+}
+
+// String renders "n1:p42".
+func (gp GPage) String() string { return fmt.Sprintf("%v:p%d", gp.Node, uint64(gp.Page)) }

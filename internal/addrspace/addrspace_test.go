@@ -1,0 +1,162 @@
+package addrspace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLocalPA(t *testing.T) {
+	a := LocalPA(0x1234)
+	if a.IsIO() || a.IsHIBReg() || a.IsShadow() {
+		t.Fatalf("local address has routing bits set: %v", a)
+	}
+	if a.Offset() != 0x1234 {
+		t.Fatalf("offset = %#x", a.Offset())
+	}
+}
+
+func TestRemotePARoundTrip(t *testing.T) {
+	f := func(node uint16, off uint64) bool {
+		off &= uint64(OffsetMask)
+		a := RemotePA(NodeID(node), off)
+		return a.IsIO() && !a.IsHIBReg() && a.Node() == NodeID(node) && a.Offset() == off
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHIBRegPA(t *testing.T) {
+	a := HIBRegPA(0x40)
+	if !a.IsIO() || !a.IsHIBReg() {
+		t.Fatalf("HIB register address misrouted: %v", a)
+	}
+	if a.Offset() != 0x40 {
+		t.Fatalf("register number = %#x", a.Offset())
+	}
+}
+
+func TestShadowBitManipulation(t *testing.T) {
+	a := RemotePA(3, 0x100)
+	s := a.WithShadow()
+	if !s.IsShadow() {
+		t.Fatal("WithShadow did not set the bit")
+	}
+	if s.ClearShadow() != a {
+		t.Fatal("ClearShadow did not recover the original address")
+	}
+	// The paper: "An address differs from its shadow only in the highest bit."
+	if s^a != ShadowBit {
+		t.Fatalf("shadow differs from base in more than the top bit: %#x", uint64(s^a))
+	}
+	if s.Node() != a.Node() || s.Offset() != a.Offset() {
+		t.Fatal("shadow bit corrupted node/offset fields")
+	}
+}
+
+func TestGAddrRoundTrip(t *testing.T) {
+	f := func(node uint16, off uint64) bool {
+		off &= uint64(OffsetMask)
+		g := NewGAddr(NodeID(node), off)
+		return g.Node() == NodeID(node) && g.Offset() == off
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGAddrPAFrom(t *testing.T) {
+	g := NewGAddr(2, 0x2000)
+	local := g.PAFrom(2)
+	if local.IsIO() {
+		t.Fatal("home-node access should be local")
+	}
+	if local.Offset() != 0x2000 {
+		t.Fatalf("local offset = %#x", local.Offset())
+	}
+	remote := g.PAFrom(5)
+	if !remote.IsIO() || remote.Node() != 2 || remote.Offset() != 0x2000 {
+		t.Fatalf("remote PA wrong: %v", remote)
+	}
+}
+
+func TestGAddrOfPAInverse(t *testing.T) {
+	f := func(self, home uint16, off uint64) bool {
+		off &= uint64(OffsetMask)
+		g := NewGAddr(NodeID(home), off)
+		pa := g.PAFrom(NodeID(self))
+		back, ok := GAddrOfPA(NodeID(self), pa)
+		return ok && back == g
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGAddrOfPAHIBReg(t *testing.T) {
+	_, ok := GAddrOfPA(1, HIBRegPA(8))
+	if ok {
+		t.Fatal("HIB register address should have no global identity")
+	}
+}
+
+func TestGAddrAdd(t *testing.T) {
+	g := NewGAddr(4, 100)
+	g2 := g.Add(28)
+	if g2.Node() != 4 || g2.Offset() != 128 {
+		t.Fatalf("Add result %v", g2)
+	}
+}
+
+func TestVAddrShadow(t *testing.T) {
+	v := VAddr(0x7000)
+	if v.IsShadow() {
+		t.Fatal("plain VA marked shadow")
+	}
+	s := v.Shadow()
+	if !s.IsShadow() || s.Base() != v {
+		t.Fatalf("shadow VA round trip failed: %v -> %v", v, s)
+	}
+}
+
+func TestPageHelpers(t *testing.T) {
+	const ps = DefaultPageSize
+	if PageOf(0, ps) != 0 || PageOf(ps-1, ps) != 0 || PageOf(ps, ps) != 1 {
+		t.Fatal("PageOf boundary behavior wrong")
+	}
+	if PageBase(3, ps) != 3*ps {
+		t.Fatalf("PageBase(3) = %d", PageBase(3, ps))
+	}
+	g := NewGAddr(7, 2*ps+100)
+	gp := GPageOf(g, ps)
+	if gp.Node != 7 || gp.Page != 2 {
+		t.Fatalf("GPageOf = %v", gp)
+	}
+	if gp.Base(ps) != NewGAddr(7, 2*ps) {
+		t.Fatalf("GPage.Base = %v", gp.Base(ps))
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if got := NodeID(3).String(); got != "n3" {
+		t.Fatalf("NodeID.String = %q", got)
+	}
+	if got := NewGAddr(2, 0x1000).String(); got != "n2+0x1000" {
+		t.Fatalf("GAddr.String = %q", got)
+	}
+	if got := (GPage{Node: 1, Page: 42}).String(); got != "n1:p42" {
+		t.Fatalf("GPage.String = %q", got)
+	}
+	if got := RemotePA(1, 0x10).String(); got != "io:n1+0x10" {
+		t.Fatalf("PAddr.String = %q", got)
+	}
+	if got := RemotePA(1, 0x10).WithShadow().String(); got != "σio:n1+0x10" {
+		t.Fatalf("shadow PAddr.String = %q", got)
+	}
+	if got := LocalPA(0x20).String(); got != "mem:0x20" {
+		t.Fatalf("local PAddr.String = %q", got)
+	}
+	if got := HIBRegPA(0x8).String(); got != "hibreg:0x8" {
+		t.Fatalf("hibreg PAddr.String = %q", got)
+	}
+}

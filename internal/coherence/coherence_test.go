@@ -1,0 +1,453 @@
+package coherence
+
+import (
+	"testing"
+
+	"telegraphos/internal/addrspace"
+	"telegraphos/internal/core"
+	"telegraphos/internal/cpu"
+	"telegraphos/internal/params"
+	"telegraphos/internal/sim"
+)
+
+func cluster(n int) *core.Cluster {
+	cfg := params.Default(n)
+	cfg.Sizing.MemBytes = 1 << 20
+	return core.New(cfg)
+}
+
+// waitQuiesce spawns a watchdog that stops the engine after the fabric
+// has settled; used when programs finish before protocol traffic drains.
+func runToQuiescence(t *testing.T, c *core.Cluster) {
+	t.Helper()
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpdatePropagatesToAllCopies(t *testing.T) {
+	c := cluster(4)
+	u := NewUpdate(c, CountersInfinite)
+	x := c.AllocShared(0, 8)
+	u.SharePage(x, 0, []int{0, 1, 2, 3})
+	off := c.SharedOffset(x)
+	c.Spawn(1, "writer", func(ctx *cpu.Ctx) {
+		ctx.Store(x, 42)
+		ctx.Fence()
+	})
+	runToQuiescence(t, c)
+	for n := 0; n < 4; n++ {
+		if got := c.Nodes[n].Mem.ReadWord(off); got != 42 {
+			t.Errorf("node %d copy = %d, want 42", n, got)
+		}
+	}
+}
+
+func TestUpdateReadOwnWriteImmediately(t *testing.T) {
+	// §2.3.2: a writer must read its own write even before the owner's
+	// reflection returns.
+	c := cluster(2)
+	u := NewUpdate(c, CountersInfinite)
+	x := c.AllocShared(0, 8)
+	u.SharePage(x, 0, []int{0, 1})
+	var got uint64
+	c.Spawn(1, "writer", func(ctx *cpu.Ctx) {
+		ctx.Store(x, 7)
+		got = ctx.Load(x) // immediately, long before the reflection
+	})
+	runToQuiescence(t, c)
+	if got != 7 {
+		t.Fatalf("read-own-write = %d, want 7", got)
+	}
+}
+
+// TestE5OverwriteAnomalyWithAndWithoutCounters reproduces the §2.3.2
+// write-write-read anomaly: P writes 2 then 3; without counters
+// (Telegraphos I) the reflected 2 later overwrites 3 and a read returns
+// 2; with counters (§2.3.3) the stale reflection is ignored.
+func TestE5OverwriteAnomalyWithAndWithoutCounters(t *testing.T) {
+	run := func(mode CounterMode) (sawStale bool) {
+		c := cluster(2)
+		u := NewUpdate(c, mode)
+		x := c.AllocShared(0, 8)
+		u.SharePage(x, 0, []int{0, 1}) // node 1 writes, node 0 owns
+		c.Spawn(1, "writer", func(ctx *cpu.Ctx) {
+			ctx.Store(x, 2)
+			ctx.Store(x, 3)
+			// Poll while the reflections are in flight: any read ≠ 3 is
+			// the anomaly (we read something other than what we wrote).
+			for i := 0; i < 40; i++ {
+				if v := ctx.Load(x); v != 3 {
+					sawStale = true
+				}
+				ctx.Compute(500 * sim.Nanosecond)
+			}
+		})
+		if err := c.Run(); err != nil {
+			panic(err)
+		}
+		return sawStale
+	}
+	if !run(CountersOff) {
+		t.Error("Telegraphos I (no counters) should exhibit the overwrite anomaly")
+	}
+	if run(CountersInfinite) {
+		t.Error("per-word counters must eliminate the overwrite anomaly")
+	}
+	if run(CountersCached) {
+		t.Error("cached counters must eliminate the overwrite anomaly")
+	}
+}
+
+// TestE4OwnerSerializationConvergence reproduces Figure 2's scenario:
+// two processors write the same word concurrently. With owner
+// serialization all copies converge to one final value.
+func TestE4OwnerSerializationConvergence(t *testing.T) {
+	c := cluster(3)
+	u := NewUpdate(c, CountersInfinite)
+	x := c.AllocShared(0, 8)
+	u.SharePage(x, 0, []int{0, 1, 2})
+	off := c.SharedOffset(x)
+	c.Spawn(1, "w1", func(ctx *cpu.Ctx) {
+		ctx.Store(x, 1)
+		ctx.Fence()
+	})
+	c.Spawn(2, "w2", func(ctx *cpu.Ctx) {
+		ctx.Store(x, 2)
+		ctx.Fence()
+	})
+	runToQuiescence(t, c)
+	v0 := c.Nodes[0].Mem.ReadWord(off)
+	v1 := c.Nodes[1].Mem.ReadWord(off)
+	v2 := c.Nodes[2].Mem.ReadWord(off)
+	if v0 != v1 || v1 != v2 {
+		t.Fatalf("copies diverged after concurrent writes: %d/%d/%d", v0, v1, v2)
+	}
+	if v0 != 1 && v0 != 2 {
+		t.Fatalf("final value %d is neither written value", v0)
+	}
+}
+
+// TestUpdateObserverSeesValidSequences: an observer's applied-value
+// sequence under concurrent writers must never show a value reappearing
+// after another value (no "1,2,1").
+func TestUpdateObserverSeesValidSequences(t *testing.T) {
+	for offsetDelay := sim.Time(0); offsetDelay <= 3*sim.Microsecond; offsetDelay += 500 * sim.Nanosecond {
+		c := cluster(3)
+		u := NewUpdate(c, CountersInfinite)
+		x := c.AllocShared(0, 8)
+		u.SharePage(x, 0, []int{0, 1, 2})
+		off := c.SharedOffset(x)
+		u.Mgr(0).Watch(off)
+		u.Mgr(1).Watch(off)
+		u.Mgr(2).Watch(off)
+		d := offsetDelay
+		c.Spawn(1, "w1", func(ctx *cpu.Ctx) {
+			ctx.Store(x, 1)
+			ctx.Fence()
+		})
+		c.Spawn(2, "w2", func(ctx *cpu.Ctx) {
+			ctx.Compute(d)
+			ctx.Store(x, 2)
+			ctx.Fence()
+		})
+		if err := c.Run(); err != nil {
+			t.Fatal(err)
+		}
+		// Node 0 is the owner: its applied sequence is the global order.
+		global := u.Mgr(0).AppliedValues(off)
+		seq := u.Mgr(0).AppliedValues(off)
+		if !isSubsequenceOrdered(seq, global) {
+			t.Fatalf("owner order violated: %v vs %v", seq, global)
+		}
+		// No observer may see a value twice with another value between
+		// (the "1,2,1" shape).
+		for n := 0; n < 3; n++ {
+			vals := u.Mgr(n).AppliedValues(off)
+			if hasABA(vals) {
+				t.Fatalf("delay %v: node %d observed invalid sequence %v", d, n, vals)
+			}
+		}
+	}
+}
+
+// hasABA reports whether vals contains the shape a...b...a with a != b.
+func hasABA(vals []uint64) bool {
+	for i := 0; i < len(vals); i++ {
+		for j := i + 1; j < len(vals); j++ {
+			if vals[j] == vals[i] {
+				continue
+			}
+			for k := j + 1; k < len(vals); k++ {
+				if vals[k] == vals[i] {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func isSubsequenceOrdered(sub, full []uint64) bool {
+	j := 0
+	for _, v := range sub {
+		for j < len(full) && full[j] != v {
+			j++
+		}
+		if j == len(full) {
+			return false
+		}
+		j++
+	}
+	return true
+}
+
+// TestE8GalacticaExhibits121 reproduces §2.4: under the ring protocol a
+// third processor can observe "1, 2, 1" — and under the Telegraphos
+// protocol it cannot (checked above). The ring is arranged P1 → P3 → P2
+// so the winner's update reaches the observer first.
+func TestE8GalacticaExhibits121(t *testing.T) {
+	c := cluster(3)
+	g := NewGalactica(c)
+	x := c.AllocShared(0, 8)
+	// Ring order: node 1 (winner) -> node 0 (observer) -> node 2 (loser).
+	g.ShareRing(x, []int{1, 0, 2})
+	off := c.SharedOffset(x)
+	g.Mgr(0).Watch(off)
+	c.Spawn(1, "w1", func(ctx *cpu.Ctx) { ctx.Store(x, 1) })
+	c.Spawn(2, "w2", func(ctx *cpu.Ctx) { ctx.Store(x, 2) })
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	seq := g.Mgr(0).AppliedValues(off)
+	if !hasABA(seq) {
+		t.Fatalf("expected the 1,2,1 anomaly at the observer, got %v", seq)
+	}
+	// Convergence still holds: all copies end with the winner's value.
+	for n := 0; n < 3; n++ {
+		if got := c.Nodes[n].Mem.ReadWord(off); got != 1 {
+			t.Errorf("node %d final value %d, want winner's 1", n, got)
+		}
+	}
+}
+
+func TestGalacticaSingleWriterPropagates(t *testing.T) {
+	c := cluster(3)
+	g := NewGalactica(c)
+	x := c.AllocShared(0, 8)
+	g.ShareRing(x, []int{0, 1, 2})
+	off := c.SharedOffset(x)
+	c.Spawn(0, "w", func(ctx *cpu.Ctx) { ctx.Store(x, 9) })
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < 3; n++ {
+		if got := c.Nodes[n].Mem.ReadWord(off); got != 9 {
+			t.Errorf("node %d = %d, want 9", n, got)
+		}
+	}
+	if g.Mgr(0).Counters.Get("ring-completed") != 1 {
+		t.Error("update did not complete the ring")
+	}
+}
+
+func TestCounterCacheBasics(t *testing.T) {
+	e := sim.NewEngine(1)
+	cc := NewCounterCache(e, 2)
+	e.Spawn("p", func(p *sim.Proc) {
+		cc.Inc(p, 100)
+		cc.Inc(p, 100)
+		cc.Inc(p, 200)
+		if cc.Pending(100) != 2 || cc.Pending(200) != 1 {
+			t.Error("counts wrong")
+		}
+		if cc.Live() != 2 {
+			t.Errorf("live = %d", cc.Live())
+		}
+		cc.Dec(100)
+		if cc.Pending(100) != 1 {
+			t.Error("dec wrong")
+		}
+		cc.Dec(100)
+		if cc.Pending(100) != 0 || cc.Live() != 1 {
+			t.Error("entry not freed at zero")
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if cc.MaxOccupancy() != 2 {
+		t.Fatalf("max occupancy = %d", cc.MaxOccupancy())
+	}
+}
+
+func TestCounterCacheStallsWhenFull(t *testing.T) {
+	e := sim.NewEngine(1)
+	cc := NewCounterCache(e, 1)
+	var acquiredAt sim.Time
+	e.Spawn("p", func(p *sim.Proc) {
+		cc.Inc(p, 1)
+		cc.Inc(p, 2) // must stall until addr 1 drains
+		acquiredAt = p.Now()
+	})
+	e.Schedule(5000, func() { cc.Dec(1) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if acquiredAt != 5000 {
+		t.Fatalf("second allocation at %v, want 5000 (stall until free)", acquiredAt)
+	}
+	if cc.Stalls() != 1 || cc.StallTime() != 5000 {
+		t.Fatalf("stall accounting: %d stalls, %v time", cc.Stalls(), cc.StallTime())
+	}
+}
+
+func TestCounterCacheDecWithoutIncPanics(t *testing.T) {
+	e := sim.NewEngine(1)
+	cc := NewCounterCache(e, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dec of missing counter did not panic")
+		}
+	}()
+	cc.Dec(77)
+}
+
+func TestCounterCacheUnboundedNeverStalls(t *testing.T) {
+	e := sim.NewEngine(1)
+	cc := NewCounterCache(e, 0)
+	e.Spawn("p", func(p *sim.Proc) {
+		for i := uint64(0); i < 1000; i++ {
+			cc.Inc(p, i)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if cc.Stalls() != 0 || cc.Live() != 1000 {
+		t.Fatalf("unbounded cache stalled (%d) or lost entries (%d)", cc.Stalls(), cc.Live())
+	}
+}
+
+func TestUpdateCounterCacheStallRecovery(t *testing.T) {
+	// With a 1-entry CAM and writes to many distinct words, the writer
+	// must stall but still complete correctly.
+	cfg := params.Default(2)
+	cfg.Sizing.MemBytes = 1 << 20
+	cfg.Sizing.CounterCacheSize = 1
+	c := core.New(cfg)
+	u := NewUpdate(c, CountersCached)
+	x := c.AllocShared(0, 4096)
+	u.SharePage(x, 0, []int{0, 1})
+	c.Spawn(1, "writer", func(ctx *cpu.Ctx) {
+		for i := 0; i < 16; i++ {
+			ctx.Store(x+addrspace.VAddr(8*i), uint64(i+1))
+		}
+		ctx.Fence()
+	})
+	runToQuiescence(t, c)
+	cc := u.Mgr(1).Cache()
+	if cc.Stalls() == 0 {
+		t.Error("expected CAM-full stalls with 1-entry cache and 16 distinct words")
+	}
+	for i := 0; i < 16; i++ {
+		off := c.SharedOffset(x) + uint64(8*i)
+		if got := c.Nodes[0].Mem.ReadWord(off); got != uint64(i+1) {
+			t.Fatalf("word %d = %d at owner", i, got)
+		}
+	}
+	if cc.Live() != 0 {
+		t.Fatalf("counters leaked: %d live after fence", cc.Live())
+	}
+}
+
+func TestNonCopyWriterRoutesThroughOwner(t *testing.T) {
+	c := cluster(3)
+	u := NewUpdate(c, CountersInfinite)
+	x := c.AllocShared(0, 8)
+	u.SharePage(x, 0, []int{0, 1}) // node 2 holds no copy
+	off := c.SharedOffset(x)
+	c.Spawn(2, "outsider", func(ctx *cpu.Ctx) {
+		ctx.Store(x, 5)
+		ctx.Fence()
+		if got := ctx.Load(x); got != 5 {
+			t.Errorf("outsider read-back = %d", got)
+		}
+	})
+	runToQuiescence(t, c)
+	if got := c.Nodes[0].Mem.ReadWord(off); got != 5 {
+		t.Errorf("owner copy = %d", got)
+	}
+	if got := c.Nodes[1].Mem.ReadWord(off); got != 5 {
+		t.Errorf("replica copy = %d (reflection missing)", got)
+	}
+}
+
+func TestInvalidateReadFetchesPage(t *testing.T) {
+	c := cluster(2)
+	iv := NewInvalidate(c)
+	x := c.AllocShared(0, 8)
+	off := c.SharedOffset(x)
+	c.Nodes[0].Mem.WriteWord(off, 88)
+	iv.SharePage(x)
+	var got uint64
+	c.Spawn(1, "reader", func(ctx *cpu.Ctx) { got = ctx.Load(x) })
+	runToQuiescence(t, c)
+	if got != 88 {
+		t.Fatalf("read through invalidate protocol = %d, want 88", got)
+	}
+	if iv.Mgr(1).Counters.Get("page-fetch") != 1 {
+		t.Error("expected one page fetch")
+	}
+}
+
+func TestInvalidateWriteInvalidatesCopies(t *testing.T) {
+	c := cluster(3)
+	iv := NewInvalidate(c)
+	x := c.AllocShared(0, 8)
+	iv.SharePage(x)
+	c.Spawn(1, "r1", func(ctx *cpu.Ctx) { _ = ctx.Load(x) })
+	c.Spawn(2, "r2", func(ctx *cpu.Ctx) { _ = ctx.Load(x) })
+	runToQuiescence(t, c)
+	// Now node 1 writes: nodes 0 and 2 must lose their copies.
+	c.Spawn(1, "w", func(ctx *cpu.Ctx) { ctx.Store(x, 123) })
+	runToQuiescence(t, c)
+	if iv.Mgr(1).Counters.Get("invalidations") == 0 {
+		t.Error("no invalidations sent")
+	}
+	var got uint64
+	c.Spawn(2, "r2again", func(ctx *cpu.Ctx) { got = ctx.Load(x) })
+	runToQuiescence(t, c)
+	if got != 123 {
+		t.Fatalf("reader after invalidation read %d, want 123", got)
+	}
+	if iv.Mgr(2).Counters.Get("page-fetch") != 2 {
+		t.Errorf("node 2 fetches = %d, want 2 (refetch after invalidation)", iv.Mgr(2).Counters.Get("page-fetch"))
+	}
+}
+
+func TestInvalidateSequentialConsistencyOfFinalValues(t *testing.T) {
+	c := cluster(2)
+	iv := NewInvalidate(c)
+	x := c.AllocShared(0, 8)
+	iv.SharePage(x)
+	c.Spawn(0, "w0", func(ctx *cpu.Ctx) {
+		for i := 0; i < 5; i++ {
+			ctx.Store(x, uint64(10+i))
+		}
+	})
+	c.Spawn(1, "w1", func(ctx *cpu.Ctx) {
+		for i := 0; i < 5; i++ {
+			ctx.Store(x, uint64(20+i))
+		}
+	})
+	runToQuiescence(t, c)
+	var v0, v1 uint64
+	c.Spawn(0, "r0", func(ctx *cpu.Ctx) { v0 = ctx.Load(x) })
+	runToQuiescence(t, c)
+	c.Spawn(1, "r1", func(ctx *cpu.Ctx) { v1 = ctx.Load(x) })
+	runToQuiescence(t, c)
+	if v0 != v1 {
+		t.Fatalf("copies diverged under invalidate protocol: %d vs %d", v0, v1)
+	}
+}

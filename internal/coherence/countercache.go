@@ -1,0 +1,97 @@
+package coherence
+
+import (
+	"telegraphos/internal/sim"
+	"telegraphos/internal/stats"
+)
+
+// CounterCache is the small content-addressable memory of §2.3.4 that
+// holds the non-zero pending-write counters. Only words with writes in
+// flight need a counter, so a 16–32 entry CAM suffices for most
+// applications — that claim is exactly what experiment E6 measures.
+//
+// Allocating a counter when the CAM is full stalls the processor until a
+// reflected write frees an entry ("sooner or later, a cache entry is
+// bound to become free, because all reflected writes from the owner are
+// bound to arrive eventually").
+type CounterCache struct {
+	eng      *sim.Engine
+	capacity int // 0 = unbounded (idealized per-word counters)
+	entries  map[uint64]uint32
+	waiters  []*sim.Completion
+
+	stalls    int64
+	stallTime sim.Time
+	// Occupancy samples the number of live entries at each operation.
+	Occupancy stats.Tally
+	maxOcc    int
+}
+
+// NewCounterCache returns a cache with the given entry capacity
+// (0 = unbounded).
+func NewCounterCache(eng *sim.Engine, capacity int) *CounterCache {
+	return &CounterCache{eng: eng, capacity: capacity, entries: make(map[uint64]uint32)}
+}
+
+// Inc increments the pending-write counter for addr, allocating an entry
+// if needed and stalling p while the CAM is full.
+func (cc *CounterCache) Inc(p *sim.Proc, addr uint64) {
+	if _, ok := cc.entries[addr]; ok {
+		cc.entries[addr]++
+		cc.sample()
+		return
+	}
+	for cc.capacity > 0 && len(cc.entries) >= cc.capacity {
+		cc.stalls++
+		start := cc.eng.Now()
+		w := sim.NewCompletion(cc.eng)
+		cc.waiters = append(cc.waiters, w)
+		w.Wait(p)
+		cc.stallTime += cc.eng.Now() - start
+	}
+	cc.entries[addr] = 1
+	cc.sample()
+}
+
+// Dec decrements addr's counter; at zero the entry is freed and one
+// stalled allocator (if any) is released. Decrementing a missing counter
+// is a protocol bug and panics.
+func (cc *CounterCache) Dec(addr uint64) {
+	n, ok := cc.entries[addr]
+	if !ok {
+		panic("coherence: counter decrement for address with no pending writes")
+	}
+	if n <= 1 {
+		delete(cc.entries, addr)
+		if len(cc.waiters) > 0 {
+			w := cc.waiters[0]
+			cc.waiters = cc.waiters[1:]
+			w.Complete()
+		}
+	} else {
+		cc.entries[addr] = n - 1
+	}
+}
+
+// Pending reports addr's counter (0 if absent).
+func (cc *CounterCache) Pending(addr uint64) uint32 { return cc.entries[addr] }
+
+// Live reports the number of occupied entries.
+func (cc *CounterCache) Live() int { return len(cc.entries) }
+
+// Stalls reports how many allocations stalled on a full CAM.
+func (cc *CounterCache) Stalls() int64 { return cc.stalls }
+
+// StallTime reports cumulative processor time lost to CAM-full stalls.
+func (cc *CounterCache) StallTime() sim.Time { return cc.stallTime }
+
+// MaxOccupancy reports the high-water mark of live entries.
+func (cc *CounterCache) MaxOccupancy() int { return cc.maxOcc }
+
+func (cc *CounterCache) sample() {
+	n := len(cc.entries)
+	if n > cc.maxOcc {
+		cc.maxOcc = n
+	}
+	cc.Occupancy.Add(float64(n))
+}

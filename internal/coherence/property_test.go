@@ -1,0 +1,144 @@
+package coherence
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"telegraphos/internal/addrspace"
+	"telegraphos/internal/consistency"
+	"telegraphos/internal/core"
+	"telegraphos/internal/cpu"
+	"telegraphos/internal/params"
+	"telegraphos/internal/sim"
+)
+
+// TestUpdateProtocolPropertyConvergence drives the update protocol with
+// randomized concurrent writers across many seeds and checks the two
+// protocol invariants of §2.3.3 hold in every execution:
+//
+//  1. convergence: after quiescence, every replica of every word holds
+//     the same value, and it is the last value of the owner's
+//     serialization order;
+//  2. validity: no observer ever applies the a...b...a shape to a word
+//     (each value written once appears at most once in any node's
+//     applied sequence).
+func TestUpdateProtocolPropertyConvergence(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		seed := seed
+		rng := rand.New(rand.NewSource(seed))
+		nodes := 2 + rng.Intn(3) // 2..4
+		words := 1 + rng.Intn(6) // 1..6 contended words
+		writes := 5 + rng.Intn(20)
+		mode := []CounterMode{CountersCached, CountersInfinite}[rng.Intn(2)]
+
+		cfg := params.Default(nodes)
+		cfg.Sizing.MemBytes = 1 << 20
+		cfg.Seed = seed
+		c := core.New(cfg)
+		u := NewUpdate(c, mode)
+		x := c.AllocShared(0, 8*words)
+		all := make([]int, nodes)
+		for i := range all {
+			all[i] = i
+		}
+		u.SharePage(x, 0, all)
+		base := c.SharedOffset(x)
+		for n := 0; n < nodes; n++ {
+			for w := 0; w < words; w++ {
+				u.Mgr(n).Watch(base + uint64(8*w))
+			}
+		}
+
+		// Unique values: writer n's k-th write is n*1000+k+1.
+		for n := 0; n < nodes; n++ {
+			n := n
+			delays := make([]sim.Time, writes)
+			targets := make([]int, writes)
+			for k := range delays {
+				delays[k] = sim.Time(rng.Intn(4000)) * sim.Nanosecond
+				targets[k] = rng.Intn(words)
+			}
+			c.Spawn(n, "w", func(ctx *cpu.Ctx) {
+				for k := 0; k < writes; k++ {
+					ctx.Compute(delays[k])
+					ctx.Store(x+addrspace.VAddr(8*targets[k]), uint64(n*1000+k+1))
+				}
+				ctx.Fence()
+			})
+		}
+		if err := c.Run(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+
+		for w := 0; w < words; w++ {
+			off := base + uint64(8*w)
+			// Invariant 1: all replicas equal the owner's last applied value.
+			ownerSeq := u.Mgr(0).AppliedValues(off)
+			var want uint64
+			if len(ownerSeq) > 0 {
+				want = ownerSeq[len(ownerSeq)-1]
+			}
+			for n := 0; n < nodes; n++ {
+				if got := c.Nodes[n].Mem.ReadWord(off); got != want {
+					t.Fatalf("seed %d word %d: node %d = %d, owner's last = %d (mode %v)",
+						seed, w, n, got, want, mode)
+				}
+			}
+			// Invariant 2: no a...b...a in any applied sequence.
+			for n := 0; n < nodes; n++ {
+				if seq := u.Mgr(n).AppliedValues(off); hasABA(seq) {
+					t.Fatalf("seed %d word %d: node %d applied invalid sequence %v", seed, w, n, seq)
+				}
+			}
+			// Invariant 3 (stronger, joint): all nodes' applied
+			// sequences are subsequences of one total write order.
+			histories := make(map[string][]uint64, nodes)
+			for n := 0; n < nodes; n++ {
+				histories[fmt.Sprintf("node%d", n)] = u.Mgr(n).AppliedValues(off)
+			}
+			if err := consistency.CheckCoherent(histories); err != nil {
+				t.Fatalf("seed %d word %d: %v", seed, w, err)
+			}
+		}
+
+		// Counter hygiene: every pending write was reflected.
+		for n := 0; n < nodes; n++ {
+			if live := u.Mgr(n).Cache().Live(); live != 0 {
+				t.Fatalf("seed %d: node %d leaked %d counters", seed, n, live)
+			}
+		}
+	}
+}
+
+// TestGalacticaPropertyConvergence checks that the ring protocol, for
+// all its transient anomalies, always converges (the [15] guarantee the
+// paper grants it) across random two-writer timings.
+func TestGalacticaPropertyConvergence(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := params.Default(3)
+		cfg.Sizing.MemBytes = 1 << 20
+		c := core.New(cfg)
+		g := NewGalactica(c)
+		x := c.AllocShared(0, 8)
+		g.ShareRing(x, []int{0, 1, 2})
+		off := c.SharedOffset(x)
+		d1 := sim.Time(rng.Intn(5000)) * sim.Nanosecond
+		d2 := sim.Time(rng.Intn(5000)) * sim.Nanosecond
+		c.Spawn(1, "w1", func(ctx *cpu.Ctx) { ctx.Compute(d1); ctx.Store(x, 11) })
+		c.Spawn(2, "w2", func(ctx *cpu.Ctx) { ctx.Compute(d2); ctx.Store(x, 22) })
+		if err := c.Run(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		v0 := c.Nodes[0].Mem.ReadWord(off)
+		v1 := c.Nodes[1].Mem.ReadWord(off)
+		v2 := c.Nodes[2].Mem.ReadWord(off)
+		if v0 != v1 || v1 != v2 {
+			t.Fatalf("seed %d: galactica diverged: %d/%d/%d", seed, v0, v1, v2)
+		}
+		if v0 != 11 && v0 != 22 {
+			t.Fatalf("seed %d: final value %d was never written", seed, v0)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Package consistency checks observed value histories against the
+// per-location coherence condition the paper's protocol guarantees
+// (§2.3.3, §2.4): for each memory word there must exist a single total
+// order of writes such that every node's observed sequence of applied
+// values is a subsequence of it. Galactica's "1, 2, 1" is exactly a
+// history with no such order.
+//
+// Values are assumed unique per write (the standard histories-checking
+// convention; the protocol tests tag each write with writer<<32|seq).
+package consistency
+
+import (
+	"fmt"
+)
+
+// Violation describes a coherence violation found in a set of histories.
+type Violation struct {
+	// Kind classifies the violation.
+	Kind string
+	// Detail is a human-readable explanation.
+	Detail string
+}
+
+// Error implements error.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("coherence violation (%s): %s", v.Kind, v.Detail)
+}
+
+// CheckCoherent verifies that the per-node observed value sequences for
+// one memory word are mutually consistent: some total order of the
+// written values contains every history as a subsequence. It returns nil
+// if such an order exists, or a *Violation.
+//
+// The check builds the union of the precedence constraints implied by
+// each history (a appears before b) and looks for a cycle; by Szpilrajn
+// extension, the histories are consistent iff the constraint relation is
+// acyclic — and a duplicated value within one history (the A...A shape)
+// is immediately inconsistent because writes are unique.
+func CheckCoherent(histories map[string][]uint64) error {
+	// Duplicate detection within each history.
+	for who, h := range histories {
+		seen := make(map[uint64]int, len(h))
+		for i, v := range h {
+			if j, dup := seen[v]; dup {
+				return &Violation{
+					Kind: "duplicate-apply",
+					Detail: fmt.Sprintf("%s applied value %d twice (positions %d and %d): the A...A shape",
+						who, v, j, i),
+				}
+			}
+			seen[v] = i
+		}
+	}
+
+	// Precedence edges a -> b for each adjacent-in-history ordered pair.
+	succ := make(map[uint64]map[uint64]bool)
+	nodesSet := make(map[uint64]bool)
+	for _, h := range histories {
+		for i := 0; i < len(h); i++ {
+			nodesSet[h[i]] = true
+			for j := i + 1; j < len(h); j++ {
+				if succ[h[i]] == nil {
+					succ[h[i]] = make(map[uint64]bool)
+				}
+				succ[h[i]][h[j]] = true
+			}
+		}
+	}
+
+	// Cycle detection (iterative DFS, colors: 0 white, 1 grey, 2 black).
+	color := make(map[uint64]int, len(nodesSet))
+	var stack []uint64
+	var visit func(u uint64) *Violation
+	visit = func(u uint64) *Violation {
+		color[u] = 1
+		stack = append(stack, u)
+		for v := range succ[u] {
+			switch color[v] {
+			case 1:
+				return &Violation{
+					Kind:   "ordering-cycle",
+					Detail: fmt.Sprintf("values %v admit no total order (e.g. %d and %d each observed before the other)", stack, u, v),
+				}
+			case 0:
+				if viol := visit(v); viol != nil {
+					return viol
+				}
+			}
+		}
+		color[u] = 2
+		stack = stack[:len(stack)-1]
+		return nil
+	}
+	for v := range nodesSet {
+		if color[v] == 0 {
+			if viol := visit(v); viol != nil {
+				return viol
+			}
+		}
+	}
+	return nil
+}
+
+// CheckConvergence verifies that all final values are identical — the
+// weaker guarantee Galactica provides (all copies converge even though
+// intermediate observations may be invalid).
+func CheckConvergence(finals map[string]uint64) error {
+	var ref uint64
+	var refWho string
+	first := true
+	for who, v := range finals {
+		if first {
+			ref, refWho, first = v, who, false
+			continue
+		}
+		if v != ref {
+			return &Violation{
+				Kind:   "divergence",
+				Detail: fmt.Sprintf("%s ended with %d but %s ended with %d", who, v, refWho, ref),
+			}
+		}
+	}
+	return nil
+}

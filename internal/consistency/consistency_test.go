@@ -1,0 +1,104 @@
+package consistency
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestValidHistories(t *testing.T) {
+	cases := []map[string][]uint64{
+		{"a": {1, 2}, "b": {1, 2}},
+		{"a": {1}, "b": {2, 1}, "c": {2, 1}},
+		{"a": {1, 2, 3}, "b": {2}, "c": {1, 3}},
+		{"a": {}, "b": nil},
+		{"a": {5}},
+	}
+	for i, h := range cases {
+		if err := CheckCoherent(h); err != nil {
+			t.Errorf("case %d: valid history rejected: %v", i, err)
+		}
+	}
+}
+
+func TestDuplicateApplyDetected(t *testing.T) {
+	// The Galactica "1, 2, 1" shape.
+	err := CheckCoherent(map[string][]uint64{"observer": {1, 2, 1}})
+	if err == nil {
+		t.Fatal("1,2,1 accepted")
+	}
+	var v *Violation
+	if !errors.As(err, &v) || v.Kind != "duplicate-apply" {
+		t.Fatalf("wrong violation: %v", err)
+	}
+	if !strings.Contains(v.Error(), "observer") {
+		t.Fatalf("violation lacks context: %v", v)
+	}
+}
+
+func TestOrderingCycleDetected(t *testing.T) {
+	// Two observers disagreeing on the order of the same two writes.
+	err := CheckCoherent(map[string][]uint64{
+		"a": {1, 2},
+		"b": {2, 1},
+	})
+	if err == nil {
+		t.Fatal("contradictory orders accepted")
+	}
+	var v *Violation
+	if !errors.As(err, &v) || v.Kind != "ordering-cycle" {
+		t.Fatalf("wrong violation kind: %v", err)
+	}
+}
+
+func TestThreeWayCycle(t *testing.T) {
+	err := CheckCoherent(map[string][]uint64{
+		"a": {1, 2},
+		"b": {2, 3},
+		"c": {3, 1},
+	})
+	if err == nil {
+		t.Fatal("3-cycle accepted")
+	}
+}
+
+// TestSubsequencesOfRandomOrderAlwaysValid: histories produced by
+// sampling subsequences of one random total order must always pass.
+func TestSubsequencesOfRandomOrderAlwaysValid(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		order := rng.Perm(n)
+		histories := make(map[string][]uint64)
+		for o := 0; o < 4; o++ {
+			var h []uint64
+			for _, v := range order {
+				if rng.Intn(2) == 0 {
+					h = append(h, uint64(v+1))
+				}
+			}
+			histories[string(rune('a'+o))] = h
+		}
+		if err := CheckCoherent(histories); err != nil {
+			t.Fatalf("seed %d: valid subsequence histories rejected: %v", seed, err)
+		}
+	}
+}
+
+func TestConvergence(t *testing.T) {
+	if err := CheckConvergence(map[string]uint64{"a": 5, "b": 5, "c": 5}); err != nil {
+		t.Fatal(err)
+	}
+	err := CheckConvergence(map[string]uint64{"a": 5, "b": 6})
+	if err == nil {
+		t.Fatal("divergence accepted")
+	}
+	var v *Violation
+	if !errors.As(err, &v) || v.Kind != "divergence" {
+		t.Fatalf("wrong violation: %v", err)
+	}
+	if err := CheckConvergence(nil); err != nil {
+		t.Fatal("empty finals should pass")
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// NodeReport is one node's aggregated telemetry.
+type NodeReport struct {
+	Node            int
+	CPUCounters     string
+	HIBCounters     string
+	BusTransactions int64
+	BusUtilization  float64
+	EgressPackets   int64
+	IngressPackets  int64
+	EgressWords     int64
+	IngressWords    int64
+	TLBHits         int64
+	TLBMisses       int64
+	MemReads        int64
+	MemWrites       int64
+}
+
+// Report aggregates cluster-wide telemetry after (or during) a run.
+type Report struct {
+	SimTime string
+	Nodes   []NodeReport
+	// SwitchForwarded is the total packets forwarded by all switches.
+	SwitchForwarded int64
+	// SwitchMisroutes counts packets dropped for lack of a route (a
+	// configuration bug if non-zero).
+	SwitchMisroutes int64
+}
+
+// Snapshot collects every component's counters.
+func (c *Cluster) Snapshot() *Report {
+	r := &Report{SimTime: c.Eng.Now().String()}
+	for i, n := range c.Nodes {
+		r.Nodes = append(r.Nodes, NodeReport{
+			Node:            i,
+			CPUCounters:     n.CPU.Counters.String(),
+			HIBCounters:     n.HIB.Counters.String(),
+			BusTransactions: n.Bus.Transactions(),
+			BusUtilization:  n.Bus.Utilization(),
+			EgressPackets:   c.Net.NodeEgress(n.ID).SentPackets(),
+			IngressPackets:  c.Net.NodeIngress(n.ID).SentPackets(),
+			EgressWords:     c.Net.NodeEgress(n.ID).SentWords(),
+			IngressWords:    c.Net.NodeIngress(n.ID).SentWords(),
+			TLBHits:         n.MMU.TLB.Hits(),
+			TLBMisses:       n.MMU.TLB.Misses(),
+			MemReads:        n.Mem.Reads(),
+			MemWrites:       n.Mem.Writes(),
+		})
+	}
+	for _, sw := range c.Net.Switches {
+		r.SwitchForwarded += sw.Forwarded()
+		r.SwitchMisroutes += sw.Misroutes()
+	}
+	return r
+}
+
+// Format renders the report for humans.
+func (r *Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "simulated time: %s\n", r.SimTime)
+	if r.SwitchForwarded > 0 || r.SwitchMisroutes > 0 {
+		fmt.Fprintf(&b, "switches: %d forwarded, %d misroutes\n", r.SwitchForwarded, r.SwitchMisroutes)
+	}
+	for _, n := range r.Nodes {
+		fmt.Fprintf(&b, "node %d:\n", n.Node)
+		if n.CPUCounters != "" {
+			fmt.Fprintf(&b, "  cpu:  %s\n", n.CPUCounters)
+		}
+		if n.HIBCounters != "" {
+			fmt.Fprintf(&b, "  hib:  %s\n", n.HIBCounters)
+		}
+		fmt.Fprintf(&b, "  bus:  %d transactions, %.1f%% utilized\n", n.BusTransactions, 100*n.BusUtilization)
+		fmt.Fprintf(&b, "  net:  egress %d pkts/%d words, ingress %d pkts/%d words\n",
+			n.EgressPackets, n.EgressWords, n.IngressPackets, n.IngressWords)
+		fmt.Fprintf(&b, "  tlb:  %d hits, %d misses\n", n.TLBHits, n.TLBMisses)
+		fmt.Fprintf(&b, "  mem:  %d reads, %d writes\n", n.MemReads, n.MemWrites)
+	}
+	return b.String()
+}

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"telegraphos/internal/cpu"
+	"telegraphos/internal/params"
+)
+
+func TestSnapshotAndFormat(t *testing.T) {
+	cfg := params.Default(2)
+	cfg.Sizing.MemBytes = 1 << 20
+	c := New(cfg)
+	x := c.AllocShared(1, 8)
+	c.Spawn(0, "w", func(ctx *cpu.Ctx) {
+		ctx.Store(x, 1)
+		ctx.Fence()
+		ctx.Load(x)
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	r := c.Snapshot()
+	if len(r.Nodes) != 2 {
+		t.Fatalf("nodes = %d", len(r.Nodes))
+	}
+	n0 := r.Nodes[0]
+	if n0.EgressPackets == 0 || n0.BusTransactions == 0 || n0.TLBMisses == 0 {
+		t.Fatalf("telemetry empty: %+v", n0)
+	}
+	if r.SwitchForwarded == 0 {
+		t.Fatal("switch counters missing")
+	}
+	if r.SwitchMisroutes != 0 {
+		t.Fatal("misroutes in a correct topology")
+	}
+	out := r.Format()
+	for _, want := range []string{"simulated time", "node 0", "hib:", "tlb:", "forwarded"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package cpu
+
+import (
+	"telegraphos/internal/addrspace"
+	"telegraphos/internal/hib"
+	"telegraphos/internal/mmu"
+	"telegraphos/internal/packet"
+)
+
+// AtomicPAL performs a remote atomic operation through the Telegraphos I
+// launch path (§2.2.4): the sequence runs in PAL code, which on the
+// Alpha is guaranteed uninterruptible, so no context/key machinery is
+// needed. The HIB is put into *special mode*, the opcode and operand are
+// stored into its PAL registers, an ordinary store to the target address
+// is latched as the operation's physical address (the TLB having done
+// the protection check), and a trigger read fires the operation. The
+// mode is cleared before returning.
+//
+// Only the superuser can install PAL code, so this path is as protected
+// as the context/key path — but it is Alpha-specific, which is why
+// Telegraphos II moved to contexts and shadow addressing.
+func (x *Ctx) AtomicPAL(op packet.AtomicOp, va addrspace.VAddr, v uint64) uint64 {
+	x.CPU.Counters.Inc("atomics-pal")
+	x.P.Sleep(x.CPU.timing.PALCall) // PAL entry
+	h := x.CPU.HIB
+	x.ioWrite(addrspace.HIBRegPA(hib.PALModeReg), 1)
+	x.ioWrite(addrspace.HIBRegPA(hib.PALOpcodeReg), uint64(op))
+	x.ioWrite(addrspace.HIBRegPA(hib.PALOperandReg), v)
+	// The "argument passing command": a store to the target itself. The
+	// TLB check still applies; the HIB latches the physical address.
+	x.P.Sleep(x.CPU.timing.CPUOp)
+	pa := x.translate(va, mmu.AccessWrite)
+	h.CPUWrite(x.P, pa, 0)
+	old := x.ioRead(addrspace.HIBRegPA(hib.PALTriggerReg))
+	x.ioWrite(addrspace.HIBRegPA(hib.PALModeReg), 0)
+	x.P.Sleep(x.CPU.timing.PALCall) // PAL exit
+	return old
+}

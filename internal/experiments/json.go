@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// jsonResult is the wire form of a Result.
+type jsonResult struct {
+	ID       string       `json:"id"`
+	Title    string       `json:"title"`
+	Artifact string       `json:"artifact"`
+	Ok       bool         `json:"ok"`
+	Rows     []jsonRow    `json:"rows"`
+	Series   []jsonSeries `json:"series,omitempty"`
+	Notes    string       `json:"notes,omitempty"`
+}
+
+type jsonRow struct {
+	Name     string `json:"name"`
+	Paper    string `json:"paper"`
+	Measured string `json:"measured"`
+	Match    bool   `json:"match"`
+}
+
+type jsonSeries struct {
+	Name   string       `json:"name"`
+	XLabel string       `json:"x"`
+	YLabel string       `json:"y"`
+	Points [][2]float64 `json:"points"`
+}
+
+// WriteJSON encodes results as a JSON array (for dashboards/tooling).
+func WriteJSON(w io.Writer, results []*Result) error {
+	out := make([]jsonResult, 0, len(results))
+	for _, r := range results {
+		jr := jsonResult{ID: r.ID, Title: r.Title, Artifact: r.Artifact, Ok: r.Ok(), Notes: r.Notes}
+		for _, row := range r.Rows {
+			jr.Rows = append(jr.Rows, jsonRow(row))
+		}
+		for _, s := range r.Series {
+			js := jsonSeries{Name: s.Name, XLabel: s.XLabel, YLabel: s.YLabel}
+			for _, p := range s.Points {
+				js.Points = append(js.Points, [2]float64{p.X, p.Y})
+			}
+			jr.Series = append(jr.Series, js)
+		}
+		out = append(out, jr)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

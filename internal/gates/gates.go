@@ -1,0 +1,116 @@
+// Package gates reproduces Table 1 of the paper: the gate-count and SRAM
+// budget of the Telegraphos I HIB. The random-logic gate counts are the
+// published design constants; the memory sizes are *computed* from the
+// configured capacities (multicast entries, page-counter table, MPM), so
+// the table tracks any resizing of the simulated machine.
+//
+// The paper's headline observation — "the portion of the network
+// interface that is necessary for supporting shared memory is very
+// small: 2700 gates and a few kilobits of memory" — falls out of the
+// subtotals.
+package gates
+
+import (
+	"fmt"
+	"strings"
+
+	"telegraphos/internal/params"
+)
+
+// Row is one line of Table 1.
+type Row struct {
+	Block    string
+	Logic    int     // gate-equivalents of random logic
+	SRAMKbit float64 // on/off-chip memory in Kbits
+	Notes    string
+	Subtotal bool
+}
+
+// Published random-logic constants of the Telegraphos I HIB (Table 1).
+const (
+	logicCentralControl = 1000
+	logicTurboChannel   = 550
+	logicIncomingLink   = 1000
+	logicOutgoingLink   = 750
+	logicAtomicOps      = 1500
+	logicMulticast      = 400
+	logicPageCounters   = 800
+)
+
+// Inventory computes the Table 1 rows for the given machine sizing.
+func Inventory(s params.Sizing) []Row {
+	// Bits per table entry, from the paper's notes column.
+	multicastKbit := float64(s.MulticastEntries) * 32 / 1024   // entries × 32 bits
+	pageCounterKbit := float64(s.PageCounterPages) * 32 / 1024 // pages × (16+16) bits
+	mpmMbit := float64(s.MemBytes) * 8 / (1 << 20)
+
+	msg := []Row{
+		{Block: "Central control", Logic: logicCentralControl, SRAMKbit: 0.5},
+		{Block: "Turbochannel interface", Logic: logicTurboChannel, SRAMKbit: 0,
+			Notes: "300 gates + 64 bits of registers"},
+		{Block: "Incoming link intf.", Logic: logicIncomingLink, SRAMKbit: 2,
+			Notes: "2+2 Kb of synchr. (2-port) FIFO's"},
+		{Block: "Outgoing link intf.", Logic: logicOutgoingLink, SRAMKbit: 2},
+	}
+	shared := []Row{
+		{Block: "Atomic operations", Logic: logicAtomicOps},
+		{Block: "Multicast (eager sharing)", Logic: logicMulticast, SRAMKbit: multicastKbit,
+			Notes: fmt.Sprintf("%d K multicast list entries x 32 bits", s.MulticastEntries/1024)},
+		{Block: "Page Access Counters", Logic: logicPageCounters, SRAMKbit: pageCounterKbit,
+			Notes: fmt.Sprintf("%d K pages x (16+16) bits", s.PageCounterPages/1024)},
+		{Block: "Multiproc. Mem. (MPM)", Logic: 0, SRAMKbit: 0,
+			Notes: fmt.Sprintf("%d MBytes = %.0f Mbits of DRAM", s.MemBytes>>20, mpmMbit)},
+	}
+
+	var rows []Row
+	rows = append(rows, msg...)
+	rows = append(rows, subtotal("Subtotal message related", msg))
+	rows = append(rows, shared...)
+	rows = append(rows, subtotal("Subtotal shared mem. rel.", shared))
+	return rows
+}
+
+func subtotal(name string, rows []Row) Row {
+	var t Row
+	t.Block = name
+	t.Subtotal = true
+	for _, r := range rows {
+		t.Logic += r.Logic
+		t.SRAMKbit += r.SRAMKbit
+	}
+	return t
+}
+
+// SharedMemoryLogic reports the shared-memory-support gate count — the
+// paper's "2700 gates" figure.
+func SharedMemoryLogic(s params.Sizing) int {
+	return logicAtomicOps + logicMulticast + logicPageCounters
+}
+
+// MessageLogic reports the message-related gate count (paper: 3300).
+func MessageLogic(s params.Sizing) int {
+	return logicCentralControl + logicTurboChannel + logicIncomingLink + logicOutgoingLink
+}
+
+// Format renders the inventory as an aligned text table.
+func Format(rows []Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %8s %12s  %s\n", "Block", "Logic", "SRAM", "Notes:")
+	fmt.Fprintf(&b, "%-28s %8s %12s\n", "", "(gates)", "(Kbits)")
+	for _, r := range rows {
+		sram := ""
+		if r.SRAMKbit > 0 {
+			if r.SRAMKbit == float64(int64(r.SRAMKbit)) {
+				sram = fmt.Sprintf("%.0f", r.SRAMKbit)
+			} else {
+				sram = fmt.Sprintf("%.1f", r.SRAMKbit)
+			}
+		}
+		logic := ""
+		if r.Logic > 0 {
+			logic = fmt.Sprintf("%d", r.Logic)
+		}
+		fmt.Fprintf(&b, "%-28s %8s %12s  %s\n", r.Block, logic, sram, r.Notes)
+	}
+	return b.String()
+}

@@ -1,0 +1,62 @@
+package gates
+
+import (
+	"strings"
+	"testing"
+
+	"telegraphos/internal/params"
+)
+
+func TestPaperSubtotals(t *testing.T) {
+	s := params.DefaultSizing()
+	if got := SharedMemoryLogic(s); got != 2700 {
+		t.Errorf("shared-memory logic = %d gates, paper says 2700", got)
+	}
+	if got := MessageLogic(s); got != 3300 {
+		t.Errorf("message-related logic = %d gates, paper says 3300", got)
+	}
+}
+
+func TestInventoryMatchesTable1(t *testing.T) {
+	rows := Inventory(params.DefaultSizing())
+	byName := map[string]Row{}
+	for _, r := range rows {
+		byName[r.Block] = r
+	}
+	// Paper Table 1 memory sizes with the default (published) sizing.
+	if r := byName["Multicast (eager sharing)"]; r.SRAMKbit != 512 {
+		t.Errorf("multicast SRAM = %g Kbit, paper says 512", r.SRAMKbit)
+	}
+	if r := byName["Page Access Counters"]; r.SRAMKbit != 2048 {
+		t.Errorf("page counter SRAM = %g Kbit, paper says 2048", r.SRAMKbit)
+	}
+	if r := byName["Subtotal message related"]; r.Logic != 3300 || r.SRAMKbit != 4.5 {
+		t.Errorf("message subtotal = %d gates / %g Kbit, paper says 3300 / 4.5", r.Logic, r.SRAMKbit)
+	}
+	if r := byName["Subtotal shared mem. rel."]; r.Logic != 2700 {
+		t.Errorf("shared subtotal = %d gates, paper says 2700", r.Logic)
+	}
+	if r := byName["Multiproc. Mem. (MPM)"]; !strings.Contains(r.Notes, "16 MBytes") {
+		t.Errorf("MPM note = %q, want 16 MBytes", r.Notes)
+	}
+}
+
+func TestInventoryScalesWithSizing(t *testing.T) {
+	s := params.DefaultSizing()
+	s.MulticastEntries *= 2
+	rows := Inventory(s)
+	for _, r := range rows {
+		if r.Block == "Multicast (eager sharing)" && r.SRAMKbit != 1024 {
+			t.Errorf("doubled multicast entries should double SRAM: %g", r.SRAMKbit)
+		}
+	}
+}
+
+func TestFormat(t *testing.T) {
+	out := Format(Inventory(params.DefaultSizing()))
+	for _, want := range []string{"Central control", "1000", "Atomic operations", "Subtotal shared mem. rel.", "2700"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package hib
+
+import (
+	"fmt"
+
+	"telegraphos/internal/addrspace"
+	"telegraphos/internal/osmodel"
+)
+
+// Page access counters (§2.2.6).
+//
+// The HIB keeps a read counter and a write counter for each remote page
+// the local processor accesses. Each remote access decrements the
+// corresponding counter (unless it is already zero); the 1→0 transition
+// raises an interrupt so the OS can make an informed replication decision
+// (alarm-based replication) or, with large initial values, gather access
+// statistics by reading the counters periodically.
+
+// pageCounter holds the two down-counters for one remote page.
+type pageCounter struct {
+	reads  uint32
+	writes uint32
+}
+
+// SetPageCounter arms the access counters for remote page gp. Zero
+// disables alarms for that direction.
+func (h *HIB) SetPageCounter(gp addrspace.GPage, reads, writes uint32) {
+	if len(h.pageCounters) >= h.sizing.PageCounterPages {
+		// Hardware table full: visible in telemetry rather than silent.
+		h.Counters.Inc("page-counter-overflow")
+		return
+	}
+	h.pageCounters[gp] = &pageCounter{reads: reads, writes: writes}
+}
+
+// PageCounter reads the current counter values for gp.
+func (h *HIB) PageCounter(gp addrspace.GPage) (reads, writes uint32, ok bool) {
+	pc, ok := h.pageCounters[gp]
+	if !ok {
+		return 0, 0, false
+	}
+	return pc.reads, pc.writes, true
+}
+
+// ClearPageCounter disarms gp's counters.
+func (h *HIB) ClearPageCounter(gp addrspace.GPage) {
+	delete(h.pageCounters, gp)
+}
+
+// countAccess decrements the page counter on a remote access and raises
+// the alarm interrupt on the 1→0 transition. The interrupt argument
+// encodes the page via EncodePageArg.
+func (h *HIB) countAccess(gp addrspace.GPage, isWrite bool) {
+	pc, ok := h.pageCounters[gp]
+	if !ok {
+		return
+	}
+	ctr := &pc.reads
+	if isWrite {
+		ctr = &pc.writes
+	}
+	if *ctr == 0 {
+		return // paper: "unless the counter is zero"
+	}
+	*ctr--
+	if *ctr == 0 {
+		h.Counters.Inc("page-counter-alarm")
+		h.os.RaiseInterrupt(osmodel.IntrPageCounter, EncodePageArg(gp, isWrite))
+	}
+}
+
+// EncodePageArg packs a global page and access direction into an
+// interrupt argument word.
+func EncodePageArg(gp addrspace.GPage, isWrite bool) uint64 {
+	v := uint64(gp.Node)<<40 | uint64(gp.Page)<<1
+	if isWrite {
+		v |= 1
+	}
+	return v
+}
+
+// DecodePageArg unpacks an interrupt argument produced by EncodePageArg.
+func DecodePageArg(arg uint64) (gp addrspace.GPage, isWrite bool) {
+	return addrspace.GPage{
+		Node: addrspace.NodeID(arg >> 40),
+		Page: addrspace.PageNum((arg >> 1) & ((1 << 39) - 1)),
+	}, arg&1 != 0
+}
+
+// Multicast mapping (§2.2.7).
+//
+// MapMulticast maps a local page out to one or more remote pages: every
+// subsequent processor write to the local page is transparently forwarded
+// to the same offset of every mapped-out page. The table is bounded by
+// Sizing.MulticastEntries (Table 1: 16 K entries).
+
+// ErrMulticastFull is returned when the multicast list table is full.
+var ErrMulticastFull = fmt.Errorf("hib: multicast table full")
+
+// MapMulticast adds dests to local page's multicast list.
+func (h *HIB) MapMulticast(local addrspace.PageNum, dests ...addrspace.GPage) error {
+	if h.mcastUsed+len(dests) > h.sizing.MulticastEntries {
+		return ErrMulticastFull
+	}
+	h.mcastUsed += len(dests)
+	h.multicast[local] = append(h.multicast[local], dests...)
+	return nil
+}
+
+// UnmapMulticast removes local page's entire multicast list.
+func (h *HIB) UnmapMulticast(local addrspace.PageNum) {
+	h.mcastUsed -= len(h.multicast[local])
+	delete(h.multicast, local)
+}
+
+// MulticastTargets reports the pages local is mapped out to.
+func (h *HIB) MulticastTargets(local addrspace.PageNum) []addrspace.GPage {
+	return append([]addrspace.GPage(nil), h.multicast[local]...)
+}
+
+// MulticastEntriesUsed reports the number of table entries in use.
+func (h *HIB) MulticastEntriesUsed() int { return h.mcastUsed }

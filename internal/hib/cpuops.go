@@ -1,0 +1,169 @@
+package hib
+
+import (
+	"telegraphos/internal/addrspace"
+	"telegraphos/internal/osmodel"
+	"telegraphos/internal/packet"
+	"telegraphos/internal/params"
+	"telegraphos/internal/sim"
+)
+
+// CPUWrite performs a store issued by the local CPU to an I/O-space
+// physical address: a HIB register write, a shadow-address argument pass,
+// a local shared-memory write, or a remote write. It runs in the CPU's
+// process and charges the full hardware path the CPU observes.
+//
+// Remote writes implement the paper's headline behaviour: the processor
+// is released as soon as the HIB latches the store; delivery proceeds in
+// the background and is tracked by the outstanding-operation counter.
+func (h *HIB) CPUWrite(p *sim.Proc, pa addrspace.PAddr, v uint64) {
+	switch {
+	case pa.IsShadow():
+		h.bus.Transact(p, h.timing.TCWriteLatch)
+		h.shadowStore(pa, v)
+	case pa.IsHIBReg():
+		h.bus.Transact(p, h.timing.TCWriteLatch)
+		h.regWrite(p, pa.Offset(), v)
+	case h.pal.active:
+		// Telegraphos I special mode: the store is latched as the
+		// pending special operation's address, not performed (§2.2.4).
+		h.bus.Transact(p, h.timing.TCWriteLatch)
+		h.palLatchAddress(pa)
+	case pa.Node() == h.node:
+		h.localSharedWrite(p, pa.Offset(), v)
+	default:
+		h.remoteWrite(p, pa, v)
+	}
+}
+
+// CPURead performs a load issued by the local CPU to an I/O-space
+// physical address. Remote reads block the calling process until the
+// reply returns (§2.2.1: "read requests stall the processor until the
+// data arrive from the remote node").
+func (h *HIB) CPURead(p *sim.Proc, pa addrspace.PAddr) uint64 {
+	switch {
+	case pa.IsShadow():
+		// The shadow space is store-only; a read is a protocol violation.
+		h.Counters.Inc("shadow-read-rejected")
+		h.os.RaiseInterrupt(osmodel.IntrProtection, 0)
+		return 0
+	case pa.IsHIBReg():
+		h.bus.Transact(p, h.timing.TCReadSetup)
+		v := h.regRead(p, pa.Offset())
+		h.bus.Transact(p, h.timing.TCReadReply)
+		return v
+	case pa.Node() == h.node:
+		return h.localSharedRead(p, pa.Offset())
+	default:
+		return h.remoteRead(p, pa)
+	}
+}
+
+// localSharedWrite stores into this node's shared region. The cost
+// depends on placement (§2.2.1): on the Telegraphos I board the store
+// crosses the TurboChannel to the HIB memory; in Telegraphos II it is a
+// plain (cacheable) main-memory store that the HIB observes.
+func (h *HIB) localSharedWrite(p *sim.Proc, offset uint64, v uint64) {
+	h.Counters.Inc("local-shared-write")
+	if h.placement == params.SharedOnHIB {
+		h.bus.Transact(p, h.timing.TCWriteLatch)
+	} else {
+		p.Sleep(h.timing.LocalMemWrit)
+	}
+	if h.coherence != nil && h.coherence.LocalSharedWrite(p, offset, v) {
+		return
+	}
+	h.mem.WriteWord(offset, v)
+	h.fanoutMulticast(p, offset, v)
+}
+
+// localSharedRead loads from this node's shared region.
+func (h *HIB) localSharedRead(p *sim.Proc, offset uint64) uint64 {
+	h.Counters.Inc("local-shared-read")
+	if h.placement == params.SharedOnHIB {
+		// One programmed-I/O read transaction against the board memory.
+		h.bus.Transact(p, h.timing.TCReadSetup)
+		p.Sleep(h.timing.MPMRead)
+	} else {
+		p.Sleep(h.timing.LocalMemRead)
+	}
+	if h.coherence != nil {
+		if v, handled := h.coherence.LocalSharedRead(p, offset); handled {
+			return v
+		}
+	}
+	return h.mem.ReadWord(offset)
+}
+
+// remoteWrite latches the store and queues a WriteReq; the CPU continues
+// as soon as the latch completes (and a write-queue slot exists).
+func (h *HIB) remoteWrite(p *sim.Proc, pa addrspace.PAddr, v uint64) {
+	h.Counters.Inc("remote-write")
+	g, _ := addrspace.GAddrOfPA(h.node, pa)
+	h.countAccess(addrspace.GPageOf(g, h.mem.PageSize()), true)
+	h.bus.Transact(p, h.timing.TCWriteLatch)
+	h.AddOutstanding(1)
+	h.postCPU(p, &packet.Packet{
+		Type: packet.WriteReq,
+		Src:  h.node,
+		Dst:  g.Node(),
+		Addr: g,
+		Val:  v,
+	})
+}
+
+// remoteRead issues a ReadReq and blocks until the reply arrives. At most
+// Sizing.MaxOutstandingRds reads are in flight ("in the current version of
+// Telegraphos there can be no more than one outstanding read operation").
+func (h *HIB) remoteRead(p *sim.Proc, pa addrspace.PAddr) uint64 {
+	h.Counters.Inc("remote-read")
+	g, _ := addrspace.GAddrOfPA(h.node, pa)
+	h.countAccess(addrspace.GPageOf(g, h.mem.PageSize()), false)
+	h.readSlots.Acquire(p)
+	h.bus.Transact(p, h.timing.TCReadSetup)
+	p.Sleep(h.timing.HIBService)
+	h.nextReqID++
+	id := h.nextReqID
+	fut := sim.NewFuture[uint64](h.eng)
+	h.pendingReads[id] = fut
+	h.postCPU(p, &packet.Packet{
+		Type:  packet.ReadReq,
+		Src:   h.node,
+		Dst:   g.Node(),
+		Addr:  g,
+		ReqID: id,
+	})
+	v := fut.Wait(p)
+	h.bus.Transact(p, h.timing.TCReadReply)
+	h.readSlots.Release()
+	return v
+}
+
+// fanoutMulticast forwards a local-page update to every mapped-out remote
+// page (§2.2.7 eager updating). The generated writes are tracked by the
+// outstanding counter so FENCE covers them.
+func (h *HIB) fanoutMulticast(p *sim.Proc, offset uint64, v uint64) {
+	pageSize := uint64(h.mem.PageSize())
+	dests := h.multicast[addrspace.PageOf(offset, h.mem.PageSize())]
+	if len(dests) == 0 {
+		return
+	}
+	inPage := offset % pageSize
+	for _, d := range dests {
+		h.Counters.Inc("multicast-write")
+		h.AddOutstanding(1)
+		dst := d.Base(h.mem.PageSize()).Add(inPage)
+		pkt := &packet.Packet{
+			Type: packet.WriteReq,
+			Src:  h.node,
+			Dst:  dst.Node(),
+			Addr: dst,
+			Val:  v,
+		}
+		if dst.Node() == h.node {
+			h.deliverLocal(pkt)
+			continue
+		}
+		h.postCPU(p, pkt)
+	}
+}

@@ -1,0 +1,187 @@
+package hib
+
+import (
+	"fmt"
+
+	"telegraphos/internal/addrspace"
+	"telegraphos/internal/packet"
+	"telegraphos/internal/sim"
+)
+
+// MsgSink receives bulk MsgData packets (set by the message-passing
+// layer). It runs in the HIB receiver process.
+type MsgSink func(p *sim.Proc, pkt *packet.Packet)
+
+// SetMsgSink installs the MsgData delivery callback.
+func (h *HIB) SetMsgSink(fn MsgSink) { h.msgSink = fn }
+
+// deliverLocal routes a packet addressed to this node without touching
+// the network (the fabric has no self-routes). A transient process models
+// the board's internal loopback path.
+func (h *HIB) deliverLocal(pkt *packet.Packet) {
+	h.eng.SpawnDaemon(fmt.Sprintf("%v.hib.loop", h.node), func(p *sim.Proc) {
+		p.Sleep(h.timing.HIBService)
+		if pkt.Class() == packet.VCRequest {
+			h.handleRequest(p, pkt)
+		} else {
+			h.handleReply(p, pkt)
+		}
+	})
+}
+
+// handleRequest services one arrived request packet. It runs in the HIB's
+// request receiver process (or a loopback process), so requests serialize
+// through the board the way they serialize through the real HIB's control
+// logic — which is what makes the home node a serialization point for
+// atomic operations.
+func (h *HIB) handleRequest(p *sim.Proc, pkt *packet.Packet) {
+	h.Counters.Inc("rx-" + pkt.Type.String())
+	if h.coherence != nil && h.coherence.IncomingPacket(p, pkt) {
+		return
+	}
+	switch pkt.Type {
+	case packet.WriteReq:
+		p.Sleep(h.timing.MPMWrite)
+		h.mem.WriteWord(pkt.Addr.Offset(), pkt.Val)
+		h.ack(pkt.Src)
+
+	case packet.ReadReq:
+		p.Sleep(h.timing.MPMRead)
+		v := h.mem.ReadWord(pkt.Addr.Offset())
+		h.reply(&packet.Packet{Type: packet.ReadReply, Dst: pkt.Src, Val: v, ReqID: pkt.ReqID})
+
+	case packet.AtomicReq:
+		p.Sleep(h.timing.MPMRead + h.timing.MPMWrite)
+		old := h.applyAtomic(pkt.Op, pkt.Addr.Offset(), pkt.Val, pkt.Val2)
+		h.reply(&packet.Packet{Type: packet.AtomicReply, Dst: pkt.Src, Val: old, ReqID: pkt.ReqID})
+
+	case packet.CopyReq:
+		h.streamCopy(p, pkt)
+
+	case packet.MsgData:
+		if h.msgSink != nil {
+			h.msgSink(p, pkt)
+		} else {
+			h.Counters.Inc("msg-dropped")
+		}
+
+	default:
+		// UpdateFwd, ReflectedWrite, InvReq, RingUpdate belong to a
+		// coherence protocol; with none installed they are dropped
+		// visibly.
+		h.Counters.Inc("unhandled-" + pkt.Type.String())
+	}
+}
+
+// handleReply services one arrived reply packet.
+func (h *HIB) handleReply(p *sim.Proc, pkt *packet.Packet) {
+	h.Counters.Inc("rx-" + pkt.Type.String())
+	if h.coherence != nil && h.coherence.IncomingPacket(p, pkt) {
+		return
+	}
+	switch pkt.Type {
+	case packet.WriteAck:
+		h.AddOutstanding(-1)
+
+	case packet.ReadReply, packet.AtomicReply:
+		fut, ok := h.pendingReads[pkt.ReqID]
+		if !ok {
+			h.Counters.Inc("orphan-reply")
+			return
+		}
+		delete(h.pendingReads, pkt.ReqID)
+		fut.Resolve(pkt.Val)
+
+	case packet.CopyData:
+		p.Sleep(h.timing.MPMWrite) // burst setup
+		if len(pkt.Data) > 0 {
+			for j, w := range pkt.Data {
+				h.mem.WriteWord(pkt.Addr.Offset()+8*uint64(j), w)
+			}
+		} else {
+			h.mem.WriteWord(pkt.Addr.Offset(), pkt.Val)
+		}
+		if pkt.Last {
+			if pkt.Origin == h.node {
+				h.AddOutstanding(-1)
+			} else {
+				h.ack(pkt.Origin)
+			}
+		}
+
+	default:
+		h.Counters.Inc("unhandled-" + pkt.Type.String())
+	}
+}
+
+// ack sends a WriteAck to dst so its HIB can decrement its
+// outstanding-operation counter.
+func (h *HIB) ack(dst addrspace.NodeID) {
+	h.reply(&packet.Packet{Type: packet.WriteAck, Dst: dst})
+}
+
+// applyAtomic performs op on the word at offset and returns the previous
+// value. It is atomic because all requests serialize through the single
+// handler process — the same argument the paper makes for the HIB.
+func (h *HIB) applyAtomic(op packet.AtomicOp, offset uint64, val, val2 uint64) uint64 {
+	old := h.mem.ReadWord(offset)
+	switch op {
+	case packet.FetchAndStore:
+		h.mem.WriteWord(offset, val)
+	case packet.FetchAndInc:
+		h.mem.WriteWord(offset, old+1)
+	case packet.CompareAndSwap:
+		if old == val2 {
+			h.mem.WriteWord(offset, val)
+		}
+	}
+	h.Counters.Inc("atomic-" + op.String())
+	return old
+}
+
+// copyChunkWords is the DMA burst size of the copy engine: each CopyData
+// packet carries up to this many payload words, so bulk copies run at
+// link bandwidth instead of paying a packet header per word.
+const copyChunkWords = 64
+
+// streamCopy services a CopyReq: it reads Len words starting at the
+// request's source address (homed here) and streams them as chunked
+// CopyData packets to the destination node. Each burst pays one memory
+// access setup (page-mode DRAM). The final packet carries Last so the
+// destination can signal completion to the origin.
+func (h *HIB) streamCopy(p *sim.Proc, pkt *packet.Packet) {
+	words := uint64(pkt.Len)
+	for i := uint64(0); i < words; i += copyChunkWords {
+		n := min(uint64(copyChunkWords), words-i)
+		p.Sleep(h.timing.MPMRead) // burst setup
+		data := make([]uint64, n)
+		for j := range data {
+			data[j] = h.mem.ReadWord(pkt.Addr.Offset() + 8*(i+uint64(j)))
+		}
+		out := &packet.Packet{
+			Type:   packet.CopyData,
+			Src:    h.node,
+			Dst:    pkt.Addr2.Node(),
+			Addr:   pkt.Addr2.Add(8 * i),
+			Data:   data,
+			Origin: pkt.Origin,
+			ReqID:  pkt.ReqID,
+			Last:   i+n == words,
+		}
+		if out.Dst == h.node {
+			h.deliverLocal(out)
+		} else {
+			h.post(out)
+		}
+	}
+}
+
+// reply enqueues a reply packet from this node.
+func (h *HIB) reply(pkt *packet.Packet) {
+	pkt.Src = h.node
+	if pkt.Dst == h.node {
+		h.deliverLocal(pkt)
+		return
+	}
+	h.post(pkt)
+}

@@ -1,0 +1,211 @@
+// Package hib models the Telegraphos Host Interface Board (§2.2) — the
+// paper's central artifact. The HIB plugs into a workstation's
+// TurboChannel and implements, entirely in hardware (i.e. without OS
+// intervention on the data path):
+//
+//   - non-blocking remote writes triggered by plain stores;
+//   - blocking remote reads triggered by plain loads;
+//   - non-blocking remote copy (prefetch);
+//   - remote atomic operations (fetch&store, fetch&inc, compare&swap)
+//     launched from user level through Telegraphos contexts, shadow
+//     addressing and keys (§2.2.4);
+//   - page access counters with alarm interrupts (§2.2.6);
+//   - outstanding-operation counters and a FENCE (§2.3.5);
+//   - eager-update multicast of local writes to mapped-out pages (§2.2.7).
+//
+// A coherence protocol (package coherence) can attach to the HIB through
+// the Coherence interface to intercept shared-memory traffic.
+package hib
+
+import (
+	"fmt"
+
+	"telegraphos/internal/addrspace"
+	"telegraphos/internal/mem"
+	"telegraphos/internal/osmodel"
+	"telegraphos/internal/packet"
+	"telegraphos/internal/params"
+	"telegraphos/internal/sim"
+	"telegraphos/internal/stats"
+	"telegraphos/internal/tchan"
+	"telegraphos/internal/topology"
+)
+
+// Coherence is the hook a memory-coherence protocol installs on the HIB.
+// Both methods run in simulation-process context and report whether they
+// fully handled the access (true) or whether the HIB's default behaviour
+// should proceed (false).
+type Coherence interface {
+	// LocalSharedWrite intercepts a CPU store to this node's shared
+	// region (a page that may be replicated).
+	LocalSharedWrite(p *sim.Proc, offset uint64, v uint64) bool
+	// LocalSharedRead intercepts a CPU load from this node's shared
+	// region; handled=false lets the plain MPM read proceed (the
+	// counter protocol's rule 4: "the read proceeds normally").
+	LocalSharedRead(p *sim.Proc, offset uint64) (v uint64, handled bool)
+	// IncomingPacket intercepts a received packet before default
+	// handling.
+	IncomingPacket(p *sim.Proc, pkt *packet.Packet) bool
+}
+
+// outItem is one queued outgoing packet; fromCPU marks packets that hold a
+// CPU write-queue credit.
+type outItem struct {
+	pkt     *packet.Packet
+	fromCPU bool
+}
+
+// HIB is one node's host interface board.
+type HIB struct {
+	eng       *sim.Engine
+	node      addrspace.NodeID
+	net       *topology.Network
+	bus       *tchan.Bus
+	mem       *mem.Memory
+	os        *osmodel.OS
+	timing    params.Timing
+	sizing    params.Sizing
+	placement params.Placement
+
+	outQ       [packet.NumVCs]*sim.Queue[outItem]
+	cpuCredits *sim.Semaphore // bounds CPU-originated in-flight writes
+	readSlots  *sim.Semaphore // bounds outstanding remote reads
+
+	outstanding  int // outstanding remote operations (writes + copies)
+	fenceWaiters []*sim.Completion
+
+	nextReqID    uint64
+	pendingReads map[uint64]*sim.Future[uint64]
+
+	contexts     []tgContext
+	pageCounters map[addrspace.GPage]*pageCounter
+	multicast    map[addrspace.PageNum][]addrspace.GPage
+	mcastUsed    int
+	coherence    Coherence
+	msgSink      MsgSink
+	pal          palState
+
+	// Counters is the HIB's telemetry (operation and packet counts).
+	Counters *stats.CounterSet
+}
+
+// New builds the HIB for node and starts its sender/receiver processes.
+func New(eng *sim.Engine, node addrspace.NodeID, net *topology.Network, bus *tchan.Bus,
+	m *mem.Memory, os *osmodel.OS, cfg params.Config) *HIB {
+	h := &HIB{
+		eng:          eng,
+		node:         node,
+		net:          net,
+		bus:          bus,
+		mem:          m,
+		os:           os,
+		timing:       cfg.Timing,
+		sizing:       cfg.Sizing,
+		placement:    cfg.Placement,
+		cpuCredits:   sim.NewSemaphore(eng, cfg.Sizing.HIBWriteQueue),
+		readSlots:    sim.NewSemaphore(eng, max(cfg.Sizing.MaxOutstandingRds, 1)),
+		pendingReads: make(map[uint64]*sim.Future[uint64]),
+		contexts:     make([]tgContext, cfg.Sizing.Contexts),
+		pageCounters: make(map[addrspace.GPage]*pageCounter),
+		multicast:    make(map[addrspace.PageNum][]addrspace.GPage),
+		Counters:     stats.NewCounterSet(),
+	}
+	for vc := 0; vc < packet.NumVCs; vc++ {
+		h.outQ[vc] = sim.NewQueue[outItem](eng, 0)
+	}
+	h.start()
+	return h
+}
+
+// Node reports the node this HIB serves.
+func (h *HIB) Node() addrspace.NodeID { return h.node }
+
+// Mem exposes the shared-memory backing store (MPM).
+func (h *HIB) Mem() *mem.Memory { return h.mem }
+
+// Timing exposes the board's timing constants.
+func (h *HIB) Timing() params.Timing { return h.timing }
+
+// SetCoherence installs the coherence protocol hooks.
+func (h *HIB) SetCoherence(c Coherence) { h.coherence = c }
+
+// Outstanding reports the current count of outstanding remote operations.
+func (h *HIB) Outstanding() int { return h.outstanding }
+
+func (h *HIB) start() {
+	for vc := packet.VC(0); vc < packet.NumVCs; vc++ {
+		vc := vc
+		h.eng.SpawnDaemon(fmt.Sprintf("%v.hib.tx%d", h.node, vc), func(p *sim.Proc) {
+			for {
+				it := h.outQ[vc].Get(p)
+				h.net.Send(p, it.pkt)
+				if it.fromCPU {
+					h.cpuCredits.Release()
+				}
+			}
+		})
+	}
+	h.eng.SpawnDaemon(fmt.Sprintf("%v.hib.rxreq", h.node), func(p *sim.Proc) {
+		for {
+			pkt := h.net.Recv(p, h.node, packet.VCRequest)
+			p.Sleep(h.timing.HIBService)
+			h.handleRequest(p, pkt)
+		}
+	})
+	h.eng.SpawnDaemon(fmt.Sprintf("%v.hib.rxrpl", h.node), func(p *sim.Proc) {
+		for {
+			pkt := h.net.Recv(p, h.node, packet.VCReply)
+			p.Sleep(h.timing.HIBService)
+			h.handleReply(p, pkt)
+		}
+	})
+}
+
+// post enqueues an HIB-generated packet for transmission.
+func (h *HIB) post(pkt *packet.Packet) {
+	h.outQ[pkt.Class()].TryPut(outItem{pkt: pkt})
+}
+
+// Post enqueues a protocol packet for transmission on behalf of an
+// attached coherence layer.
+func (h *HIB) Post(p *sim.Proc, pkt *packet.Packet) {
+	pkt.Src = h.node
+	h.Counters.Inc("tx-" + pkt.Type.String())
+	h.post(pkt)
+}
+
+// postCPU enqueues a CPU-originated packet, blocking p for a write-queue
+// credit: this is the board's finite outgoing FIFO back-pressuring the
+// TurboChannel.
+func (h *HIB) postCPU(p *sim.Proc, pkt *packet.Packet) {
+	h.cpuCredits.Acquire(p)
+	h.outQ[pkt.Class()].Put(p, outItem{pkt: pkt, fromCPU: true})
+}
+
+// AddOutstanding adjusts the outstanding-operation counter; at zero all
+// FENCE waiters are released. Exposed for the coherence layer, which
+// issues its own protocol writes.
+func (h *HIB) AddOutstanding(delta int) {
+	h.outstanding += delta
+	if h.outstanding < 0 {
+		panic("hib: outstanding operation counter went negative")
+	}
+	if h.outstanding == 0 {
+		for _, c := range h.fenceWaiters {
+			c.Complete()
+		}
+		h.fenceWaiters = nil
+	}
+}
+
+// Fence blocks p until every outstanding remote operation issued by this
+// node has completed (§2.3.5 MEMORY_BARRIER).
+func (h *HIB) Fence(p *sim.Proc) {
+	h.Counters.Inc("fence")
+	if h.outstanding == 0 {
+		return
+	}
+	c := sim.NewCompletion(h.eng)
+	h.fenceWaiters = append(h.fenceWaiters, c)
+	c.Wait(p)
+}

@@ -1,0 +1,105 @@
+package hib
+
+import (
+	"testing"
+
+	"telegraphos/internal/addrspace"
+	"telegraphos/internal/packet"
+	"telegraphos/internal/sim"
+)
+
+// palSequence drives the raw Telegraphos I launch sequence.
+func palSequence(p *sim.Proc, h *HIB, op packet.AtomicOp, pa addrspace.PAddr, v uint64) uint64 {
+	h.CPUWrite(p, addrspace.HIBRegPA(PALModeReg), 1)
+	h.CPUWrite(p, addrspace.HIBRegPA(PALOpcodeReg), uint64(op))
+	h.CPUWrite(p, addrspace.HIBRegPA(PALOperandReg), v)
+	h.CPUWrite(p, pa, 0) // latched as the target address, not performed
+	old := h.CPURead(p, addrspace.HIBRegPA(PALTriggerReg))
+	h.CPUWrite(p, addrspace.HIBRegPA(PALModeReg), 0)
+	return old
+}
+
+func TestPALModeAtomic(t *testing.T) {
+	r := newRig(t, nil)
+	pa := addrspace.RemotePA(1, 0x100)
+	var old1, old2 uint64
+	r.eng.Spawn("pal", func(p *sim.Proc) {
+		old1 = palSequence(p, r.h[0], packet.FetchAndInc, pa, 0)
+		old2 = palSequence(p, r.h[0], packet.FetchAndStore, pa, 77)
+	})
+	r.run(t)
+	if old1 != 0 || old2 != 1 {
+		t.Fatalf("fetched %d,%d want 0,1", old1, old2)
+	}
+	if got := r.mem[1].ReadWord(0x100); got != 77 {
+		t.Fatalf("final value = %d", got)
+	}
+	if r.h[0].Counters.Get("launch-atomic-pal") != 2 {
+		t.Fatal("PAL launches not counted")
+	}
+}
+
+func TestPALModeStoreNotPerformed(t *testing.T) {
+	// While in special mode, the address-passing store must not modify
+	// memory.
+	r := newRig(t, nil)
+	r.eng.Spawn("pal", func(p *sim.Proc) {
+		h := r.h[0]
+		h.CPUWrite(p, addrspace.HIBRegPA(PALModeReg), 1)
+		h.CPUWrite(p, addrspace.RemotePA(1, 0x200), 0xBAD)
+		h.CPUWrite(p, addrspace.HIBRegPA(PALModeReg), 0)
+		h.Fence(p)
+	})
+	r.run(t)
+	if got := r.mem[1].ReadWord(0x200); got != 0 {
+		t.Fatalf("special-mode store leaked into memory: %#x", got)
+	}
+}
+
+func TestPALTriggerWithoutAddressRejected(t *testing.T) {
+	r := newRig(t, nil)
+	var got uint64
+	r.eng.Spawn("pal", func(p *sim.Proc) {
+		h := r.h[0]
+		h.CPUWrite(p, addrspace.HIBRegPA(PALModeReg), 1)
+		got = h.CPURead(p, addrspace.HIBRegPA(PALTriggerReg))
+		h.CPUWrite(p, addrspace.HIBRegPA(PALModeReg), 0)
+	})
+	r.run(t)
+	if got != LaunchError {
+		t.Fatalf("trigger without address returned %#x", got)
+	}
+}
+
+func TestPALLeavingModeClearsLatch(t *testing.T) {
+	r := newRig(t, nil)
+	var got uint64
+	r.eng.Spawn("pal", func(p *sim.Proc) {
+		h := r.h[0]
+		h.CPUWrite(p, addrspace.HIBRegPA(PALModeReg), 1)
+		h.CPUWrite(p, addrspace.RemotePA(1, 0x300), 0) // latch an address
+		h.CPUWrite(p, addrspace.HIBRegPA(PALModeReg), 0)
+		if h.PALActive() {
+			t.Error("mode still active after clear")
+		}
+		h.CPUWrite(p, addrspace.HIBRegPA(PALModeReg), 1)
+		got = h.CPURead(p, addrspace.HIBRegPA(PALTriggerReg)) // stale latch?
+	})
+	r.run(t)
+	if got != LaunchError {
+		t.Fatal("address latch survived leaving special mode")
+	}
+}
+
+func TestPALLocalTarget(t *testing.T) {
+	// Special-mode atomic on the node's own shared memory.
+	r := newRig(t, nil)
+	var old uint64
+	r.eng.Spawn("pal", func(p *sim.Proc) {
+		old = palSequence(p, r.h[0], packet.FetchAndInc, addrspace.RemotePA(0, 0x80), 0)
+	})
+	r.run(t)
+	if old != 0 || r.mem[0].ReadWord(0x80) != 1 {
+		t.Fatalf("local PAL atomic failed: old=%d mem=%d", old, r.mem[0].ReadWord(0x80))
+	}
+}

@@ -1,0 +1,143 @@
+// Package link models the point-to-point links of the Telegraphos network:
+// unidirectional wires with finite bandwidth, propagation delay, and
+// credit-based (back-pressured) flow control per virtual channel.
+//
+// The Telegraphos switch papers [16, 17] describe VC-level flow control
+// with back-pressure and lossless, in-order delivery; this model provides
+// exactly that external contract. Each link carries packet.NumVCs virtual
+// channels; requests and replies travel on different VCs so that
+// request-reply dependency cycles cannot deadlock the fabric.
+package link
+
+import (
+	"fmt"
+
+	"telegraphos/internal/packet"
+	"telegraphos/internal/sim"
+)
+
+// Config sets a link's physical parameters.
+type Config struct {
+	// PropDelay is the signal propagation delay (cable length).
+	PropDelay sim.Time
+	// WordTime is the time to clock one 8-byte word across the wire;
+	// a packet occupies the wire for ceil(SizeBytes/8) * WordTime.
+	WordTime sim.Time
+	// BufPackets is the receiver buffer capacity, in packets, per
+	// virtual channel; it is also the sender's credit count.
+	BufPackets int
+}
+
+// DefaultConfig reflects the Telegraphos I ribbon-cable links: roughly
+// 30 ns per word (≈ 266 MB/s), 10 ns propagation, and a 4-packet FIFO per
+// VC (the HIB has "2+2 Kb of synchronizing FIFOs", Table 1).
+func DefaultConfig() Config {
+	return Config{PropDelay: 10 * sim.Nanosecond, WordTime: 30 * sim.Nanosecond, BufPackets: 4}
+}
+
+// Link is a unidirectional, lossless, in-order link. Senders call Send
+// (blocking for a credit and for wire time); the receiving element drains
+// it with Recv, which returns the consumed buffer's credit to the sender.
+type Link struct {
+	name    string
+	eng     *sim.Engine
+	cfg     Config
+	wire    *sim.Mutex
+	credits [packet.NumVCs]*sim.Semaphore
+	arrived [packet.NumVCs]*sim.Queue[*packet.Packet]
+
+	// Telemetry.
+	sentPackets int64
+	sentWords   int64
+	busy        sim.Time
+}
+
+// New returns an idle link.
+func New(eng *sim.Engine, name string, cfg Config) *Link {
+	if cfg.BufPackets <= 0 {
+		cfg.BufPackets = 1
+	}
+	if cfg.WordTime <= 0 {
+		cfg.WordTime = 1
+	}
+	l := &Link{name: name, eng: eng, cfg: cfg, wire: sim.NewMutex(eng)}
+	for vc := 0; vc < packet.NumVCs; vc++ {
+		l.credits[vc] = sim.NewSemaphore(eng, cfg.BufPackets)
+		l.arrived[vc] = sim.NewQueue[*packet.Packet](eng, 0)
+	}
+	return l
+}
+
+// Name returns the link's diagnostic name.
+func (l *Link) Name() string { return l.name }
+
+// Config returns the link's configuration.
+func (l *Link) Config() Config { return l.cfg }
+
+// transferTime is the wire occupancy of pkt.
+func (l *Link) transferTime(pkt *packet.Packet) sim.Time {
+	words := (pkt.SizeBytes() + 7) / 8
+	return sim.Time(words) * l.cfg.WordTime
+}
+
+// Send transmits pkt, blocking the calling process until a receive buffer
+// credit is available on the packet's VC and the wire is free, then for
+// the packet's serialization time. The packet is delivered to the far end
+// PropDelay later. Per VC, packets arrive in exactly the order sent.
+func (l *Link) Send(p *sim.Proc, pkt *packet.Packet) {
+	vc := pkt.Class()
+	l.credits[vc].Acquire(p) // back-pressure: wait for far-end buffer space
+	l.wire.Lock(p)
+	t := l.transferTime(pkt)
+	p.Sleep(t)
+	l.busy += t
+	l.sentPackets++
+	l.sentWords += int64((pkt.SizeBytes() + 7) / 8)
+	l.wire.Unlock()
+	l.eng.Schedule(l.cfg.PropDelay, func() {
+		l.arrived[vc].TryPut(pkt) // unbounded queue: credits already bound it
+	})
+}
+
+// Recv removes the next arrived packet on vc, blocking the calling process
+// while none is available, and returns the buffer credit to the sender.
+func (l *Link) Recv(p *sim.Proc, vc packet.VC) *packet.Packet {
+	pkt := l.arrived[vc].Get(p)
+	l.credits[vc].Release()
+	return pkt
+}
+
+// TryRecv removes an arrived packet on vc without blocking.
+func (l *Link) TryRecv(vc packet.VC) (*packet.Packet, bool) {
+	pkt, ok := l.arrived[vc].TryGet()
+	if ok {
+		l.credits[vc].Release()
+	}
+	return pkt, ok
+}
+
+// Queued reports the number of arrived-but-unconsumed packets on vc.
+func (l *Link) Queued(vc packet.VC) int { return l.arrived[vc].Len() }
+
+// SentPackets reports the total packets transmitted.
+func (l *Link) SentPackets() int64 { return l.sentPackets }
+
+// SentWords reports the total 8-byte words transmitted.
+func (l *Link) SentWords() int64 { return l.sentWords }
+
+// BusyTime reports cumulative wire occupancy (for utilization).
+func (l *Link) BusyTime() sim.Time { return l.busy }
+
+// Utilization reports busy time as a fraction of elapsed simulated time.
+func (l *Link) Utilization() float64 {
+	now := l.eng.Now()
+	if now == 0 {
+		return 0
+	}
+	return float64(l.busy) / float64(now)
+}
+
+// String renders the link name and counters.
+func (l *Link) String() string {
+	return fmt.Sprintf("link %s: %d pkts, %d words, util %.1f%%", l.name, l.sentPackets, l.sentWords, 100*l.Utilization())
+}

@@ -1,0 +1,95 @@
+// Package mem models a node's physical memory: a flat, word-addressed
+// store with page-granularity helpers. In Telegraphos I this backs the
+// Multiprocessor Memory (MPM) on the HIB board; in Telegraphos II it backs
+// the shared portion of main memory (§2.2.1). Timing is accounted by the
+// callers (CPU, HIB) so the same store can sit behind either access path.
+package mem
+
+import (
+	"fmt"
+
+	"telegraphos/internal/addrspace"
+)
+
+// Memory is a node-local physical memory of a fixed byte size.
+type Memory struct {
+	words    []uint64
+	pageSize int
+
+	reads  int64
+	writes int64
+}
+
+// New returns a zeroed memory of size bytes with the given page size.
+// Size and pageSize must be positive multiples of the word size.
+func New(size, pageSize int) *Memory {
+	if size <= 0 || size%addrspace.WordSize != 0 {
+		panic(fmt.Sprintf("mem: invalid size %d", size))
+	}
+	if pageSize <= 0 || pageSize%addrspace.WordSize != 0 || size%pageSize != 0 {
+		panic(fmt.Sprintf("mem: invalid page size %d", pageSize))
+	}
+	return &Memory{words: make([]uint64, size/addrspace.WordSize), pageSize: pageSize}
+}
+
+// Size reports the memory size in bytes.
+func (m *Memory) Size() int { return len(m.words) * addrspace.WordSize }
+
+// PageSize reports the page size in bytes.
+func (m *Memory) PageSize() int { return m.pageSize }
+
+// NumPages reports the number of pages.
+func (m *Memory) NumPages() int { return m.Size() / m.pageSize }
+
+// WordsPerPage reports the number of words in one page.
+func (m *Memory) WordsPerPage() int { return m.pageSize / addrspace.WordSize }
+
+func (m *Memory) index(off uint64) int {
+	if off%addrspace.WordSize != 0 {
+		panic(fmt.Sprintf("mem: unaligned word access at %#x", off))
+	}
+	i := int(off / addrspace.WordSize)
+	if i < 0 || i >= len(m.words) {
+		panic(fmt.Sprintf("mem: access at %#x beyond size %#x", off, m.Size()))
+	}
+	return i
+}
+
+// ReadWord returns the word at byte offset off. It panics on unaligned or
+// out-of-range access: those are simulation bugs, not program errors.
+func (m *Memory) ReadWord(off uint64) uint64 {
+	m.reads++
+	return m.words[m.index(off)]
+}
+
+// WriteWord stores v at byte offset off.
+func (m *Memory) WriteWord(off uint64, v uint64) {
+	m.writes++
+	m.words[m.index(off)] = v
+}
+
+// ReadPage copies page pn into a fresh slice of words.
+func (m *Memory) ReadPage(pn addrspace.PageNum) []uint64 {
+	base := m.index(addrspace.PageBase(pn, m.pageSize))
+	out := make([]uint64, m.WordsPerPage())
+	copy(out, m.words[base:base+m.WordsPerPage()])
+	m.reads += int64(m.WordsPerPage())
+	return out
+}
+
+// WritePage overwrites page pn with data (which must be exactly one page
+// of words).
+func (m *Memory) WritePage(pn addrspace.PageNum, data []uint64) {
+	if len(data) != m.WordsPerPage() {
+		panic(fmt.Sprintf("mem: WritePage with %d words, want %d", len(data), m.WordsPerPage()))
+	}
+	base := m.index(addrspace.PageBase(pn, m.pageSize))
+	copy(m.words[base:base+m.WordsPerPage()], data)
+	m.writes += int64(m.WordsPerPage())
+}
+
+// Reads reports the cumulative word-read count (telemetry).
+func (m *Memory) Reads() int64 { return m.reads }
+
+// Writes reports the cumulative word-write count (telemetry).
+func (m *Memory) Writes() int64 { return m.writes }

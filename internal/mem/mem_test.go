@@ -1,0 +1,92 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"telegraphos/internal/addrspace"
+)
+
+func TestReadWriteWord(t *testing.T) {
+	m := New(4096, 1024)
+	m.WriteWord(0, 42)
+	m.WriteWord(4088, 99)
+	if m.ReadWord(0) != 42 || m.ReadWord(4088) != 99 {
+		t.Fatal("word round trip failed")
+	}
+	if m.ReadWord(8) != 0 {
+		t.Fatal("fresh memory not zeroed")
+	}
+}
+
+func TestGeometry(t *testing.T) {
+	m := New(8192, 1024)
+	if m.Size() != 8192 || m.PageSize() != 1024 || m.NumPages() != 8 || m.WordsPerPage() != 128 {
+		t.Fatalf("geometry wrong: %d/%d/%d/%d", m.Size(), m.PageSize(), m.NumPages(), m.WordsPerPage())
+	}
+}
+
+func TestPageRoundTrip(t *testing.T) {
+	m := New(4096, 1024)
+	data := make([]uint64, 128)
+	for i := range data {
+		data[i] = uint64(i * 7)
+	}
+	m.WritePage(2, data)
+	got := m.ReadPage(2)
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("page word %d = %d, want %d", i, got[i], data[i])
+		}
+	}
+	// Neighbouring pages untouched.
+	if m.ReadWord(addrspace.PageBase(1, 1024)) != 0 || m.ReadWord(addrspace.PageBase(3, 1024)) != 0 {
+		t.Fatal("WritePage leaked into neighbours")
+	}
+	// ReadPage returns a copy.
+	got[0] = 12345
+	if m.ReadWord(addrspace.PageBase(2, 1024)) == 12345 {
+		t.Fatal("ReadPage aliases memory")
+	}
+}
+
+func TestWordRoundTripProperty(t *testing.T) {
+	m := New(1<<16, 4096)
+	f := func(off uint64, v uint64) bool {
+		off = (off % uint64(m.Size())) &^ 7
+		m.WriteWord(off, v)
+		return m.ReadWord(off) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	m := New(4096, 1024)
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("unaligned read", func() { m.ReadWord(3) })
+	mustPanic("oob write", func() { m.WriteWord(4096, 1) })
+	mustPanic("short WritePage", func() { m.WritePage(0, make([]uint64, 3)) })
+	mustPanic("bad size", func() { New(100, 1024) })
+	mustPanic("bad page size", func() { New(4096, 1000) })
+	mustPanic("page > size", func() { New(4096, 8192) })
+}
+
+func TestCounters(t *testing.T) {
+	m := New(4096, 1024)
+	m.WriteWord(0, 1)
+	m.ReadWord(0)
+	m.ReadWord(8)
+	if m.Writes() != 1 || m.Reads() != 2 {
+		t.Fatalf("counters %d/%d", m.Reads(), m.Writes())
+	}
+}

@@ -1,0 +1,219 @@
+package mmu
+
+import (
+	"errors"
+	"testing"
+
+	"telegraphos/internal/addrspace"
+	"telegraphos/internal/sim"
+)
+
+const ps = 4096
+
+func TestMapTranslate(t *testing.T) {
+	as := NewAddressSpace(ps)
+	as.Map(0x10000, addrspace.LocalPA(0x4000), PermRW)
+	pa, fault := as.Translate(0x10008, AccessRead)
+	if fault != nil {
+		t.Fatal(fault)
+	}
+	if pa != addrspace.LocalPA(0x4008) {
+		t.Fatalf("pa = %v", pa)
+	}
+}
+
+func TestRemoteMapping(t *testing.T) {
+	as := NewAddressSpace(ps)
+	as.Map(0x20000, addrspace.RemotePA(3, 0x8000), PermRW)
+	pa, fault := as.Translate(0x20010, AccessWrite)
+	if fault != nil {
+		t.Fatal(fault)
+	}
+	if !pa.IsIO() || pa.Node() != 3 || pa.Offset() != 0x8010 {
+		t.Fatalf("remote pa = %v", pa)
+	}
+}
+
+func TestUnmappedFault(t *testing.T) {
+	as := NewAddressSpace(ps)
+	_, fault := as.Translate(0x5000, AccessRead)
+	if fault == nil || fault.Reason != FaultUnmapped {
+		t.Fatalf("fault = %v", fault)
+	}
+	var err error = fault
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatal("Fault does not satisfy error")
+	}
+	if f.Error() == "" {
+		t.Fatal("empty fault message")
+	}
+}
+
+func TestProtectionFault(t *testing.T) {
+	as := NewAddressSpace(ps)
+	as.Map(0x10000, addrspace.LocalPA(0x4000), PermRead)
+	if _, fault := as.Translate(0x10000, AccessRead); fault != nil {
+		t.Fatalf("read should be allowed: %v", fault)
+	}
+	_, fault := as.Translate(0x10000, AccessWrite)
+	if fault == nil || fault.Reason != FaultProtection {
+		t.Fatalf("write to read-only page: fault = %v", fault)
+	}
+}
+
+func TestProtectAndUnmap(t *testing.T) {
+	as := NewAddressSpace(ps)
+	as.Map(0x10000, addrspace.LocalPA(0), PermRW)
+	if !as.Protect(0x10000, PermRead) {
+		t.Fatal("Protect on mapped page returned false")
+	}
+	if _, fault := as.Translate(0x10000, AccessWrite); fault == nil {
+		t.Fatal("write allowed after Protect(read-only)")
+	}
+	as.Unmap(0x10000)
+	if _, fault := as.Translate(0x10000, AccessRead); fault == nil || fault.Reason != FaultUnmapped {
+		t.Fatal("translation survives Unmap")
+	}
+	if as.Protect(0x99000, PermRead) {
+		t.Fatal("Protect on unmapped page returned true")
+	}
+}
+
+func TestShadowTranslation(t *testing.T) {
+	as := NewAddressSpace(ps)
+	as.Map(0x10000, addrspace.RemotePA(2, 0x4000), PermRW)
+	va := addrspace.VAddr(0x10008).Shadow()
+	pa, fault := as.Translate(va, AccessWrite)
+	if fault != nil {
+		t.Fatal(fault)
+	}
+	if !pa.IsShadow() {
+		t.Fatal("shadow VA did not produce shadow PA")
+	}
+	if pa.ClearShadow() != addrspace.RemotePA(2, 0x4008) {
+		t.Fatalf("shadow PA base wrong: %v", pa)
+	}
+}
+
+func TestShadowRequiresWritePermission(t *testing.T) {
+	// §2.2.4: a user may only pass physical addresses it could write.
+	as := NewAddressSpace(ps)
+	as.Map(0x10000, addrspace.RemotePA(2, 0x4000), PermRead)
+	_, fault := as.Translate(addrspace.VAddr(0x10000).Shadow(), AccessRead)
+	if fault == nil || fault.Reason != FaultProtection {
+		t.Fatal("shadow access to read-only page must fault")
+	}
+}
+
+func TestMapAlignmentPanics(t *testing.T) {
+	as := NewAddressSpace(ps)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unaligned Map did not panic")
+		}
+	}()
+	as.Map(0x10004, addrspace.LocalPA(0), PermRW)
+}
+
+func TestTLBFIFOReplacement(t *testing.T) {
+	tlb := NewTLB(2)
+	tlb.Insert(1)
+	tlb.Insert(2)
+	tlb.Insert(3) // evicts 1
+	if tlb.Lookup(1) {
+		t.Fatal("FIFO should have evicted page 1")
+	}
+	if !tlb.Lookup(2) || !tlb.Lookup(3) {
+		t.Fatal("pages 2,3 should be present")
+	}
+	if tlb.Hits() != 2 || tlb.Misses() != 1 {
+		t.Fatalf("hit/miss = %d/%d", tlb.Hits(), tlb.Misses())
+	}
+	tlb.Invalidate(2)
+	if tlb.Lookup(2) {
+		t.Fatal("Invalidate did not remove entry")
+	}
+	tlb.Insert(3) // duplicate insert is a no-op
+	tlb.Flush()
+	if tlb.Lookup(3) {
+		t.Fatal("Flush did not clear TLB")
+	}
+}
+
+func TestMMUTimedTranslation(t *testing.T) {
+	e := sim.NewEngine(1)
+	m := New(ps, 4, 400)
+	m.AS.Map(0x10000, addrspace.LocalPA(0), PermRW)
+	var first, second sim.Time
+	e.Spawn("prog", func(p *sim.Proc) {
+		start := p.Now()
+		if _, f := m.Translate(p, 0x10000, AccessRead); f != nil {
+			t.Error(f)
+		}
+		first = p.Now() - start
+		start = p.Now()
+		if _, f := m.Translate(p, 0x10008, AccessRead); f != nil {
+			t.Error(f)
+		}
+		second = p.Now() - start
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if first != 400 {
+		t.Fatalf("first (miss) cost %v, want 400", first)
+	}
+	if second != 0 {
+		t.Fatalf("second (hit) cost %v, want 0", second)
+	}
+}
+
+func TestMMUFaultNotCached(t *testing.T) {
+	e := sim.NewEngine(1)
+	m := New(ps, 4, 100)
+	e.Spawn("prog", func(p *sim.Proc) {
+		if _, f := m.Translate(p, 0x10000, AccessRead); f == nil {
+			t.Error("expected fault")
+		}
+		// Map and retry: still a miss (fault was not cached), then works.
+		m.AS.Map(0x10000, addrspace.LocalPA(0), PermRW)
+		pa, f := m.Translate(p, 0x10000, AccessRead)
+		if f != nil || pa != addrspace.LocalPA(0) {
+			t.Errorf("retry failed: %v %v", pa, f)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.TLB.Misses() != 2 {
+		t.Fatalf("misses = %d, want 2", m.TLB.Misses())
+	}
+}
+
+func TestMMUInvalidatePage(t *testing.T) {
+	e := sim.NewEngine(1)
+	m := New(ps, 4, 100)
+	m.AS.Map(0x10000, addrspace.LocalPA(0), PermRW)
+	e.Spawn("prog", func(p *sim.Proc) {
+		m.Translate(p, 0x10000, AccessRead)
+		m.InvalidatePage(0x10000)
+		start := p.Now()
+		m.Translate(p, 0x10000, AccessRead)
+		if p.Now()-start != 100 {
+			t.Error("translation after InvalidatePage should miss")
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccessAndReasonStrings(t *testing.T) {
+	if AccessRead.String() != "read" || AccessWrite.String() != "write" {
+		t.Fatal("access strings")
+	}
+	if FaultUnmapped.String() != "unmapped" || FaultProtection.String() != "protection" {
+		t.Fatal("reason strings")
+	}
+}

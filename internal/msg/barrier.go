@@ -1,0 +1,51 @@
+package msg
+
+import (
+	"telegraphos/internal/addrspace"
+	"telegraphos/internal/sim"
+)
+
+// RPCBarrier is a centralized barrier over OS-mediated messaging — the
+// synchronization a pure software system (the DSM baseline) has to use,
+// since it has no remote atomic operations. Each arrival is an RPC to
+// the host node; the host's handler blocks until all n participants have
+// arrived, then every reply releases its caller.
+type RPCBarrier struct {
+	s    *System
+	host addrspace.NodeID
+	port uint64
+	n    int
+
+	count   int
+	waiters []*sim.Completion
+}
+
+// barrierPortBase keeps barrier service ports away from user ports.
+const barrierPortBase = uint64(2) << 32
+
+// NewRPCBarrier creates a barrier for n participants hosted on node host.
+func NewRPCBarrier(s *System, host addrspace.NodeID, n int) *RPCBarrier {
+	s.nextBarrier++
+	b := &RPCBarrier{s: s, host: host, port: barrierPortBase + s.nextBarrier, n: n}
+	s.Serve(host, b.port, func(p *sim.Proc, src addrspace.NodeID, req []uint64) []uint64 {
+		b.count++
+		if b.count == b.n {
+			b.count = 0
+			for _, w := range b.waiters {
+				w.Complete()
+			}
+			b.waiters = nil
+			return nil
+		}
+		w := sim.NewCompletion(s.c.Eng)
+		b.waiters = append(b.waiters, w)
+		w.Wait(p)
+		return nil
+	})
+	return b
+}
+
+// Wait blocks p (running on node src) until all participants arrive.
+func (b *RPCBarrier) Wait(p *sim.Proc, src addrspace.NodeID) {
+	b.s.Call(p, src, b.host, b.port, nil)
+}

@@ -1,0 +1,95 @@
+package msg
+
+import (
+	"telegraphos/internal/addrspace"
+	"telegraphos/internal/core"
+	"telegraphos/internal/cpu"
+	"telegraphos/internal/sim"
+)
+
+// Channel is a single-producer, single-consumer message channel built
+// entirely from Telegraphos remote writes — the paper's "passing of
+// messages is as fast as local writes" style of communication. The ring
+// buffer, head, and tail words are homed on the *receiver's* node: the
+// sender's stores are non-blocking remote writes; the receiver's loads
+// are cheap local accesses; only the sender's occasional flow-control
+// check of the head pointer is a (blocking) remote read.
+//
+// Layout in the shared segment, homed on the receiver:
+//
+//	base + 0        tail (words ever published; written by sender)
+//	base + 8        head (words ever consumed; written by receiver)
+//	base + 16 ...   ring of capWords payload words
+type Channel struct {
+	c        *core.Cluster
+	home     addrspace.NodeID // receiver
+	base     addrspace.VAddr
+	capWords int
+
+	// Sender-side cached state.
+	sendTail uint64
+	headSeen uint64
+	// Receiver-side cached state.
+	recvHead uint64
+}
+
+// NewChannel allocates a channel delivered to node home with a ring of
+// capWords payload words.
+func NewChannel(c *core.Cluster, home addrspace.NodeID, capWords int) *Channel {
+	if capWords < 1 {
+		panic("msg: channel capacity must be >= 1")
+	}
+	base := c.AllocShared(home, 16+8*capWords)
+	return &Channel{c: c, home: home, base: base, capWords: capWords}
+}
+
+func (ch *Channel) tailVA() addrspace.VAddr { return ch.base }
+func (ch *Channel) headVA() addrspace.VAddr { return ch.base + 8 }
+func (ch *Channel) slotVA(i uint64) addrspace.VAddr {
+	return ch.base + 16 + addrspace.VAddr(8*(i%uint64(ch.capWords)))
+}
+
+// Send publishes data in chunks: as many payload stores as the ring has
+// room for, then a single tail store announcing the chunk. Because the
+// fabric delivers packets from one source to one destination in order,
+// every payload word is in place at the receiver before the tail that
+// announces it — no fence is needed on this path. The sender spins on
+// the remote head pointer only when the ring is full.
+func (ch *Channel) Send(ctx *cpu.Ctx, data []uint64) {
+	for len(data) > 0 {
+		// Flow control: never overwrite unconsumed words.
+		free := uint64(ch.capWords) - (ch.sendTail - ch.headSeen)
+		if free == 0 {
+			ch.headSeen = ctx.Load(ch.headVA()) // remote read
+			if ch.sendTail-ch.headSeen >= uint64(ch.capWords) {
+				ctx.Compute(2 * sim.Microsecond)
+			}
+			continue
+		}
+		n := min(uint64(len(data)), free)
+		for _, w := range data[:n] {
+			ctx.Store(ch.slotVA(ch.sendTail), w)
+			ch.sendTail++
+		}
+		data = data[n:]
+		ctx.Store(ch.tailVA(), ch.sendTail)
+	}
+}
+
+// Recv consumes exactly n words, blocking (by polling the local tail
+// word) until they are available. It must be called on the home node.
+func (ch *Channel) Recv(ctx *cpu.Ctx, n int) []uint64 {
+	if ctx.CPU.Node() != ch.home {
+		ctx.P.Panicf("msg: Recv on node %v, channel homed on %v", ctx.CPU.Node(), ch.home)
+	}
+	out := make([]uint64, 0, n)
+	for len(out) < n {
+		for ctx.Load(ch.tailVA()) <= ch.recvHead {
+			ctx.Compute(1 * sim.Microsecond) // local poll
+		}
+		out = append(out, ctx.Load(ch.slotVA(ch.recvHead)))
+		ch.recvHead++
+		ctx.Store(ch.headVA(), ch.recvHead) // local store, read remotely by sender
+	}
+	return out
+}

@@ -1,0 +1,219 @@
+package msg
+
+import (
+	"testing"
+
+	"telegraphos/internal/addrspace"
+	"telegraphos/internal/core"
+	"telegraphos/internal/cpu"
+	"telegraphos/internal/params"
+	"telegraphos/internal/sim"
+)
+
+func cluster(n int) *core.Cluster {
+	cfg := params.Default(n)
+	cfg.Sizing.MemBytes = 1 << 20
+	return core.New(cfg)
+}
+
+func TestSystemSendRecv(t *testing.T) {
+	c := cluster(2)
+	s := NewSystem(c)
+	var got []uint64
+	c.Spawn(0, "sender", func(ctx *cpu.Ctx) {
+		s.Send(ctx, 1, 7, []uint64{10, 20, 30})
+	})
+	c.Spawn(1, "receiver", func(ctx *cpu.Ctx) {
+		got = s.Recv(ctx, 7)
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 10 || got[2] != 30 {
+		t.Fatalf("received %v", got)
+	}
+}
+
+func TestSystemMessagesOrderedPerPort(t *testing.T) {
+	c := cluster(2)
+	s := NewSystem(c)
+	var got []uint64
+	c.Spawn(0, "sender", func(ctx *cpu.Ctx) {
+		for i := 0; i < 10; i++ {
+			s.Send(ctx, 1, 1, []uint64{uint64(i)})
+		}
+	})
+	c.Spawn(1, "receiver", func(ctx *cpu.Ctx) {
+		for i := 0; i < 10; i++ {
+			m := s.Recv(ctx, 1)
+			got = append(got, m[0])
+		}
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != uint64(i) {
+			t.Fatalf("reordered: %v", got)
+		}
+	}
+}
+
+func TestSystemCostDominatedByOS(t *testing.T) {
+	c := cluster(2)
+	s := NewSystem(c)
+	var sent, rcvd sim.Time
+	c.Spawn(0, "sender", func(ctx *cpu.Ctx) {
+		start := ctx.Now()
+		s.Send(ctx, 1, 3, []uint64{1})
+		sent = ctx.Now() - start
+	})
+	c.Spawn(1, "receiver", func(ctx *cpu.Ctx) {
+		s.Recv(ctx, 3)
+		rcvd = ctx.Now()
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	tm := params.DefaultTiming()
+	if sent < tm.Trap {
+		t.Fatalf("send cost %v less than one trap", sent)
+	}
+	// One-way latency must include interrupt + traps: tens of µs.
+	if rcvd < 50*sim.Microsecond {
+		t.Fatalf("one-way OS-mediated latency %v implausibly low", rcvd)
+	}
+}
+
+func TestRPCCallAndServe(t *testing.T) {
+	c := cluster(3)
+	s := NewSystem(c)
+	// An adder service on node 2.
+	s.Serve(2, 9, func(p *sim.Proc, src addrspace.NodeID, req []uint64) []uint64 {
+		var sum uint64
+		for _, v := range req {
+			sum += v
+		}
+		return []uint64{sum, uint64(src)}
+	})
+	results := make([]uint64, 2)
+	for n := 0; n < 2; n++ {
+		n := n
+		c.Spawn(n, "client", func(ctx *cpu.Ctx) {
+			resp := s.Call(ctx.P, ctx.CPU.Node(), 2, 9, []uint64{uint64(n + 1), 100})
+			if len(resp) != 2 || resp[1] != uint64(n) {
+				t.Errorf("node %d: bad reply %v", n, resp)
+			}
+			results[n] = resp[0]
+		})
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if results[0] != 101 || results[1] != 102 {
+		t.Fatalf("RPC results %v, want [101 102]", results)
+	}
+}
+
+func TestChannelDelivery(t *testing.T) {
+	c := cluster(2)
+	ch := NewChannel(c, 1, 8)
+	var got []uint64
+	c.Spawn(0, "producer", func(ctx *cpu.Ctx) {
+		ch.Send(ctx, []uint64{5, 6, 7, 8})
+	})
+	c.Spawn(1, "consumer", func(ctx *cpu.Ctx) {
+		got = ch.Recv(ctx, 4)
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != uint64(5+i) {
+			t.Fatalf("channel delivered %v", got)
+		}
+	}
+}
+
+func TestChannelFlowControl(t *testing.T) {
+	// Ring of 2 words, message of 10 words: sender must wait for the
+	// consumer, and no word may be lost or overwritten.
+	c := cluster(2)
+	ch := NewChannel(c, 1, 2)
+	var got []uint64
+	data := make([]uint64, 10)
+	for i := range data {
+		data[i] = uint64(i * 3)
+	}
+	c.Spawn(0, "producer", func(ctx *cpu.Ctx) {
+		ch.Send(ctx, data)
+	})
+	c.Spawn(1, "consumer", func(ctx *cpu.Ctx) {
+		for i := 0; i < 10; i++ {
+			ctx.Compute(5 * sim.Microsecond) // slow consumer
+			got = append(got, ch.Recv(ctx, 1)[0])
+		}
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != data[i] {
+			t.Fatalf("flow control lost data: %v", got)
+		}
+	}
+}
+
+func TestChannelMuchFasterThanOSMessaging(t *testing.T) {
+	// The headline comparison: user-level remote-write messaging vs
+	// OS-mediated messaging, same payload, same cluster.
+	// Telegraphos II placement: the consumer's polling loads are cheap
+	// main-memory accesses instead of TurboChannel transactions (§2.2.1).
+	cluster2 := func() *core.Cluster {
+		cfg := params.Default(2)
+		cfg.Sizing.MemBytes = 1 << 20
+		cfg.Placement = params.SharedInMain
+		return core.New(cfg)
+	}
+	const words = 16
+	userLevel := func() sim.Time {
+		c := cluster2()
+		ch := NewChannel(c, 1, 64)
+		var done sim.Time
+		c.Spawn(0, "p", func(ctx *cpu.Ctx) { ch.Send(ctx, make([]uint64, words)) })
+		c.Spawn(1, "c", func(ctx *cpu.Ctx) {
+			ch.Recv(ctx, words)
+			done = ctx.Now()
+		})
+		if err := c.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return done
+	}()
+	osLevel := func() sim.Time {
+		c := cluster(2)
+		s := NewSystem(c)
+		var done sim.Time
+		c.Spawn(0, "p", func(ctx *cpu.Ctx) { s.Send(ctx, 1, 1, make([]uint64, words)) })
+		c.Spawn(1, "c", func(ctx *cpu.Ctx) {
+			s.Recv(ctx, 1)
+			done = ctx.Now()
+		})
+		if err := c.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return done
+	}()
+	if userLevel*3 >= osLevel {
+		t.Fatalf("user-level channel (%v) should be several times faster than OS messaging (%v)", userLevel, osLevel)
+	}
+}
+
+func TestChannelRecvWrongNodePanics(t *testing.T) {
+	c := cluster(2)
+	ch := NewChannel(c, 1, 4)
+	c.Spawn(0, "bad", func(ctx *cpu.Ctx) { ch.Recv(ctx, 1) })
+	if err := c.Run(); err == nil {
+		t.Fatal("Recv on the wrong node should abort the program")
+	}
+}

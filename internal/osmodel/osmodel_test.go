@@ -1,0 +1,141 @@
+package osmodel
+
+import (
+	"testing"
+
+	"telegraphos/internal/mmu"
+	"telegraphos/internal/params"
+	"telegraphos/internal/sim"
+)
+
+func newOS(e *sim.Engine) *OS { return New(e, 0, params.DefaultTiming()) }
+
+func TestTrapCost(t *testing.T) {
+	e := sim.NewEngine(1)
+	o := newOS(e)
+	e.Spawn("u", func(p *sim.Proc) { o.Trap(p) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() != o.Timing().Trap {
+		t.Fatalf("trap took %v, want %v", e.Now(), o.Timing().Trap)
+	}
+	if o.Counters.Get("traps") != 1 {
+		t.Fatal("trap not counted")
+	}
+}
+
+func TestCopyWordsCost(t *testing.T) {
+	e := sim.NewEngine(1)
+	o := newOS(e)
+	e.Spawn("u", func(p *sim.Proc) { o.CopyWords(p, 1024) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := 1024 * o.Timing().MemCopyPerWord
+	if e.Now() != want {
+		t.Fatalf("copy took %v, want %v", e.Now(), want)
+	}
+}
+
+func TestHandleFaultNoHandlerFatal(t *testing.T) {
+	e := sim.NewEngine(1)
+	o := newOS(e)
+	var retry bool
+	e.Spawn("u", func(p *sim.Proc) {
+		retry = o.HandleFault(p, &mmu.Fault{VA: 0x1000, Access: mmu.AccessWrite})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if retry {
+		t.Fatal("fault with no handler should be fatal")
+	}
+	if o.Counters.Get("page-faults") != 1 {
+		t.Fatal("fault not counted")
+	}
+}
+
+func TestHandleFaultRetries(t *testing.T) {
+	e := sim.NewEngine(1)
+	o := newOS(e)
+	var handled *mmu.Fault
+	o.SetFaultHandler(func(p *sim.Proc, f *mmu.Fault) bool {
+		handled = f
+		p.Sleep(1000)
+		return true
+	})
+	var retry bool
+	e.Spawn("u", func(p *sim.Proc) {
+		retry = o.HandleFault(p, &mmu.Fault{VA: 0x2000, Access: mmu.AccessRead})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !retry || handled == nil || handled.VA != 0x2000 {
+		t.Fatalf("handler not invoked properly: retry=%v f=%v", retry, handled)
+	}
+	want := o.Timing().Trap + o.Timing().FaultService + 1000
+	if e.Now() != want {
+		t.Fatalf("fault path took %v, want %v", e.Now(), want)
+	}
+}
+
+func TestInterruptDelivery(t *testing.T) {
+	e := sim.NewEngine(1)
+	o := newOS(e)
+	var got uint64
+	var at sim.Time
+	o.SetInterruptHandler(IntrPageCounter, func(p *sim.Proc, arg uint64) {
+		got = arg
+		at = p.Now()
+	})
+	e.Schedule(500, func() { o.RaiseInterrupt(IntrPageCounter, 42) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Fatal("interrupt handler did not receive arg")
+	}
+	if at != 500+o.Timing().Interrupt {
+		t.Fatalf("handler ran at %v, want %v", at, 500+o.Timing().Interrupt)
+	}
+	if o.Counters.Get("intr-page-counter") != 1 {
+		t.Fatalf("interrupt not counted: %s", o.Counters)
+	}
+}
+
+func TestUnhandledInterruptDropped(t *testing.T) {
+	e := sim.NewEngine(1)
+	o := newOS(e)
+	o.RaiseInterrupt(IntrMessage, 1)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if o.Counters.Get("intr-unhandled") != 1 {
+		t.Fatal("unhandled interrupt not counted")
+	}
+}
+
+func TestInterruptStrings(t *testing.T) {
+	names := map[Interrupt]string{
+		IntrPageCounter:  "page-counter",
+		IntrMessage:      "message",
+		IntrProtection:   "protection",
+		IntrCounterStall: "counter-stall",
+		Interrupt(99):    "intr(99)",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestNodeAccessor(t *testing.T) {
+	e := sim.NewEngine(1)
+	o := New(e, 7, params.DefaultTiming())
+	if o.Node() != 7 {
+		t.Fatal("Node() wrong")
+	}
+}

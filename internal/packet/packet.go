@@ -1,0 +1,262 @@
+// Package packet defines the network packet types exchanged between
+// Telegraphos host interface boards (HIBs) and the binary wire codec used
+// to serialize them.
+//
+// The set of types mirrors the operations of the paper's §2.2: remote
+// write (with acknowledgement for the outstanding-operation counters),
+// blocking remote read, remote copy, remote atomic operations, the
+// owner-based update-coherence traffic of §2.3 (updates forwarded to the
+// owner and reflected writes multicast by it), page invalidation for the
+// invalidate baseline, ring updates for the Galactica baseline, and bulk
+// message payloads for the message-passing layers.
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"telegraphos/internal/addrspace"
+)
+
+// Type enumerates packet kinds.
+type Type uint8
+
+// Packet kinds.
+const (
+	// Invalid is the zero Type; it is never transmitted.
+	Invalid Type = iota
+	// WriteReq carries a remote write: store Val at Addr.
+	WriteReq
+	// WriteAck acknowledges a WriteReq so the issuing HIB can decrement
+	// its outstanding-write counter (completion detection, §2.2).
+	WriteAck
+	// ReadReq requests the word at Addr; ReqID pairs it with its reply.
+	ReadReq
+	// ReadReply returns Val for the ReadReq with the same ReqID.
+	ReadReply
+	// AtomicReq performs the remote atomic operation Op on Addr with
+	// operands Val (and Val2 for compare-and-swap).
+	AtomicReq
+	// AtomicReply returns the fetched previous value.
+	AtomicReply
+	// CopyReq asks the node holding Addr to stream Len words to the
+	// destination address Addr2 on node Dst2 (remote copy, §2.2.2).
+	CopyReq
+	// CopyData carries one word of a remote copy; Last marks completion.
+	CopyData
+	// UpdateFwd forwards a write on a remotely-owned page to the page's
+	// owner for serialization (§2.3.1).
+	UpdateFwd
+	// ReflectedWrite is the owner's multicast of a serialized update to
+	// every copy of the page. Origin names the node whose write it
+	// reflects (§2.3.3 rule 2).
+	ReflectedWrite
+	// InvReq asks a node to invalidate its copy of the page holding Addr.
+	InvReq
+	// InvAck acknowledges an InvReq.
+	InvAck
+	// RingUpdate circulates an update around the Galactica-style sharing
+	// ring baseline (§2.4). Origin is the writer; Hops counts traversals.
+	RingUpdate
+	// MsgData is a bulk message-passing payload of Len words.
+	MsgData
+	// numTypes bounds the valid Type values.
+	numTypes
+)
+
+var typeNames = [...]string{
+	Invalid:        "Invalid",
+	WriteReq:       "WriteReq",
+	WriteAck:       "WriteAck",
+	ReadReq:        "ReadReq",
+	ReadReply:      "ReadReply",
+	AtomicReq:      "AtomicReq",
+	AtomicReply:    "AtomicReply",
+	CopyReq:        "CopyReq",
+	CopyData:       "CopyData",
+	UpdateFwd:      "UpdateFwd",
+	ReflectedWrite: "ReflectedWrite",
+	InvReq:         "InvReq",
+	InvAck:         "InvAck",
+	RingUpdate:     "RingUpdate",
+	MsgData:        "MsgData",
+}
+
+// String names the packet type.
+func (t Type) String() string {
+	if int(t) < len(typeNames) {
+		return typeNames[t]
+	}
+	return fmt.Sprintf("Type(%d)", uint8(t))
+}
+
+// AtomicOp enumerates the remote atomic operations of §2.2.3.
+type AtomicOp uint8
+
+// The three atomic operations Telegraphos implements.
+const (
+	FetchAndStore AtomicOp = iota
+	FetchAndInc
+	CompareAndSwap
+)
+
+// String names the atomic operation.
+func (op AtomicOp) String() string {
+	switch op {
+	case FetchAndStore:
+		return "fetch&store"
+	case FetchAndInc:
+		return "fetch&inc"
+	case CompareAndSwap:
+		return "compare&swap"
+	default:
+		return fmt.Sprintf("AtomicOp(%d)", uint8(op))
+	}
+}
+
+// VC is the virtual channel class a packet travels on. Requests and
+// replies use separate channels so request-reply dependency cycles cannot
+// deadlock the back-pressured fabric.
+type VC uint8
+
+// The two virtual channels.
+const (
+	VCRequest VC = 0
+	VCReply   VC = 1
+)
+
+// NumVCs is the number of virtual channels per link.
+const NumVCs = 2
+
+// HeaderBytes is the wire size of the fixed packet header.
+const HeaderBytes = 40
+
+// Packet is one network packet. Fields beyond Type/Src/Dst are used by the
+// kinds that need them (see the Type docs).
+type Packet struct {
+	Type Type
+	Src  addrspace.NodeID // issuing node
+	Dst  addrspace.NodeID // target node
+
+	Addr   addrspace.GAddr  // primary address operand
+	Addr2  addrspace.GAddr  // secondary address (CopyReq destination)
+	Val    uint64           // data word / operand
+	Val2   uint64           // second operand (compare-and-swap expected value)
+	Op     AtomicOp         // atomic op selector (AtomicReq)
+	Origin addrspace.NodeID // originating writer (ReflectedWrite, RingUpdate)
+	ReqID  uint64           // request/reply pairing tag
+	Len    uint32           // word count (CopyReq, MsgData)
+	Last   bool             // final packet of a stream (CopyData)
+	Hops   uint32           // ring traversal count (RingUpdate)
+
+	// Data is an optional bulk payload (MsgData, page transfers).
+	Data []uint64
+}
+
+// Class reports the packet's virtual channel: replies and acks ride the
+// reply channel, everything else the request channel.
+func (p *Packet) Class() VC {
+	switch p.Type {
+	case WriteAck, ReadReply, AtomicReply, CopyData, InvAck:
+		return VCReply
+	default:
+		return VCRequest
+	}
+}
+
+// PayloadWords reports the number of payload words the packet carries on
+// the wire (for transfer-time accounting).
+func (p *Packet) PayloadWords() int {
+	if len(p.Data) > 0 {
+		return len(p.Data)
+	}
+	switch p.Type {
+	case MsgData:
+		return int(p.Len)
+	default:
+		return 0
+	}
+}
+
+// SizeBytes reports the packet's wire size: fixed header plus payload.
+func (p *Packet) SizeBytes() int {
+	return HeaderBytes + addrspace.WordSize*p.PayloadWords()
+}
+
+// String renders a short diagnostic form.
+func (p *Packet) String() string {
+	return fmt.Sprintf("%v %v->%v addr=%v val=%#x id=%d", p.Type, p.Src, p.Dst, p.Addr, p.Val, p.ReqID)
+}
+
+// Encode serializes the packet into its wire frame (little-endian):
+//
+//	off  0: type(1) op(1) flags(1) pad(1) hops(4)
+//	off  8: src(2) dst(2) origin(2) pad(2)
+//	off 16: addr(8) addr2(8)
+//	off 32: val(8) val2(8) reqid(8) len(4) nwords(4)
+//	off 64: payload words (8 bytes each)
+//
+// The frame is the debuggable software representation; the *timed* wire
+// size used by the link models is SizeBytes, which assumes a compressed
+// hardware header of HeaderBytes. Decode(Encode(p)) reproduces p exactly.
+func Encode(p *Packet) []byte {
+	buf := make([]byte, 64+8*len(p.Data))
+	buf[0] = byte(p.Type)
+	buf[1] = byte(p.Op)
+	var flags byte
+	if p.Last {
+		flags |= 1
+	}
+	buf[2] = flags
+	binary.LittleEndian.PutUint32(buf[4:], p.Hops)
+	binary.LittleEndian.PutUint16(buf[8:], uint16(p.Src))
+	binary.LittleEndian.PutUint16(buf[10:], uint16(p.Dst))
+	binary.LittleEndian.PutUint16(buf[12:], uint16(p.Origin))
+	binary.LittleEndian.PutUint64(buf[16:], uint64(p.Addr))
+	binary.LittleEndian.PutUint64(buf[24:], uint64(p.Addr2))
+	binary.LittleEndian.PutUint64(buf[32:], p.Val)
+	binary.LittleEndian.PutUint64(buf[40:], p.Val2)
+	binary.LittleEndian.PutUint64(buf[48:], p.ReqID)
+	binary.LittleEndian.PutUint32(buf[56:], p.Len)
+	binary.LittleEndian.PutUint32(buf[60:], uint32(len(p.Data)))
+	for i, w := range p.Data {
+		binary.LittleEndian.PutUint64(buf[64+8*i:], w)
+	}
+	return buf
+}
+
+// Decode parses a packet previously produced by Encode.
+func Decode(buf []byte) (*Packet, error) {
+	if len(buf) < 64 {
+		return nil, fmt.Errorf("packet: frame too short (%d bytes)", len(buf))
+	}
+	p := &Packet{
+		Type:   Type(buf[0]),
+		Op:     AtomicOp(buf[1]),
+		Last:   buf[2]&1 != 0,
+		Hops:   binary.LittleEndian.Uint32(buf[4:]),
+		Src:    addrspace.NodeID(binary.LittleEndian.Uint16(buf[8:])),
+		Dst:    addrspace.NodeID(binary.LittleEndian.Uint16(buf[10:])),
+		Origin: addrspace.NodeID(binary.LittleEndian.Uint16(buf[12:])),
+		Addr:   addrspace.GAddr(binary.LittleEndian.Uint64(buf[16:])),
+		Addr2:  addrspace.GAddr(binary.LittleEndian.Uint64(buf[24:])),
+		Val:    binary.LittleEndian.Uint64(buf[32:]),
+		Val2:   binary.LittleEndian.Uint64(buf[40:]),
+		ReqID:  binary.LittleEndian.Uint64(buf[48:]),
+		Len:    binary.LittleEndian.Uint32(buf[56:]),
+	}
+	if p.Type == Invalid || p.Type >= numTypes {
+		return nil, fmt.Errorf("packet: invalid type %d", buf[0])
+	}
+	n := binary.LittleEndian.Uint32(buf[60:])
+	if len(buf) < 64+8*int(n) {
+		return nil, fmt.Errorf("packet: truncated payload (want %d words, have %d bytes)", n, len(buf)-64)
+	}
+	if n > 0 {
+		p.Data = make([]uint64, n)
+		for i := range p.Data {
+			p.Data[i] = binary.LittleEndian.Uint64(buf[64+8*i:])
+		}
+	}
+	return p, nil
+}

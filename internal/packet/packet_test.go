@@ -1,0 +1,138 @@
+package packet
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"telegraphos/internal/addrspace"
+)
+
+func TestTypeStrings(t *testing.T) {
+	if WriteReq.String() != "WriteReq" || ReadReply.String() != "ReadReply" {
+		t.Fatal("type names wrong")
+	}
+	if Type(200).String() != "Type(200)" {
+		t.Fatalf("out-of-range type name: %s", Type(200))
+	}
+	if FetchAndInc.String() != "fetch&inc" || CompareAndSwap.String() != "compare&swap" ||
+		FetchAndStore.String() != "fetch&store" {
+		t.Fatal("atomic op names wrong")
+	}
+	if AtomicOp(9).String() != "AtomicOp(9)" {
+		t.Fatal("out-of-range atomic op name wrong")
+	}
+}
+
+func TestVirtualChannelClassification(t *testing.T) {
+	replies := []Type{WriteAck, ReadReply, AtomicReply, CopyData, InvAck}
+	requests := []Type{WriteReq, ReadReq, AtomicReq, CopyReq, UpdateFwd, ReflectedWrite, InvReq, RingUpdate, MsgData}
+	for _, ty := range replies {
+		if (&Packet{Type: ty}).Class() != VCReply {
+			t.Errorf("%v should ride the reply VC", ty)
+		}
+	}
+	for _, ty := range requests {
+		if (&Packet{Type: ty}).Class() != VCRequest {
+			t.Errorf("%v should ride the request VC", ty)
+		}
+	}
+}
+
+func TestSizeAccounting(t *testing.T) {
+	p := &Packet{Type: WriteReq}
+	if p.SizeBytes() != HeaderBytes {
+		t.Fatalf("header-only packet size %d", p.SizeBytes())
+	}
+	m := &Packet{Type: MsgData, Len: 10}
+	if m.PayloadWords() != 10 {
+		t.Fatalf("MsgData payload words = %d", m.PayloadWords())
+	}
+	if m.SizeBytes() != HeaderBytes+80 {
+		t.Fatalf("MsgData size = %d", m.SizeBytes())
+	}
+	d := &Packet{Type: MsgData, Len: 3, Data: []uint64{1, 2, 3, 4}}
+	if d.PayloadWords() != 4 {
+		t.Fatalf("explicit Data should win: %d", d.PayloadWords())
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p := &Packet{
+		Type:   AtomicReq,
+		Src:    3,
+		Dst:    7,
+		Addr:   addrspace.NewGAddr(7, 0x1000),
+		Addr2:  addrspace.NewGAddr(3, 0x2000),
+		Val:    0xdeadbeef,
+		Val2:   42,
+		Op:     CompareAndSwap,
+		Origin: 5,
+		ReqID:  991,
+		Len:    2,
+		Last:   true,
+		Hops:   9,
+		Data:   []uint64{0x11, 0x22},
+	}
+	got, err := Decode(Encode(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, p) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, p)
+	}
+}
+
+func TestEncodeDecodeProperty(t *testing.T) {
+	f := func(ty uint8, src, dst, origin uint16, addr, val, val2, reqID uint64, op uint8, last bool, hops uint32, data []uint64) bool {
+		p := &Packet{
+			Type:   Type(ty%uint8(numTypes-1)) + 1, // valid, non-Invalid
+			Src:    addrspace.NodeID(src),
+			Dst:    addrspace.NodeID(dst),
+			Origin: addrspace.NodeID(origin),
+			Addr:   addrspace.GAddr(addr),
+			Val:    val,
+			Val2:   val2,
+			Op:     AtomicOp(op % 3),
+			ReqID:  reqID,
+			Last:   last,
+			Hops:   hops,
+			Len:    uint32(len(data)),
+		}
+		if len(data) > 0 {
+			p.Data = data
+		}
+		got, err := Decode(Encode(p))
+		return err == nil && reflect.DeepEqual(got, p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(make([]byte, 10)); err == nil {
+		t.Fatal("short frame accepted")
+	}
+	bad := Encode(&Packet{Type: WriteReq})
+	bad[0] = 0 // Invalid
+	if _, err := Decode(bad); err == nil {
+		t.Fatal("invalid type accepted")
+	}
+	bad[0] = 250 // out of range
+	if _, err := Decode(bad); err == nil {
+		t.Fatal("out-of-range type accepted")
+	}
+	trunc := Encode(&Packet{Type: MsgData, Data: []uint64{1, 2, 3}})
+	if _, err := Decode(trunc[:70]); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}
+
+func TestPacketString(t *testing.T) {
+	p := &Packet{Type: ReadReq, Src: 1, Dst: 2, Addr: addrspace.NewGAddr(2, 0x80), ReqID: 7}
+	s := p.String()
+	if s == "" {
+		t.Fatal("empty String()")
+	}
+}

@@ -1,0 +1,149 @@
+package paging
+
+import (
+	"testing"
+
+	"telegraphos/internal/core"
+	"telegraphos/internal/params"
+)
+
+func cluster() *core.Cluster {
+	cfg := params.Default(2)
+	cfg.Sizing.MemBytes = 1 << 21
+	cfg.Sizing.PageSize = 4096
+	return core.New(cfg)
+}
+
+func seqRefs(n, pages int) []Ref {
+	refs := make([]Ref, n)
+	for i := range refs {
+		refs[i] = Ref{Page: i % pages}
+	}
+	return refs
+}
+
+func TestAllHitsWhenWorkingSetFits(t *testing.T) {
+	c := cluster()
+	res, err := Run(c, 0, Config{LocalFrames: 8, Backend: Disk}, seqRefs(100, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults != 4 {
+		t.Fatalf("faults = %d, want 4 (cold only)", res.Faults)
+	}
+	if res.Hits != 96 {
+		t.Fatalf("hits = %d", res.Hits)
+	}
+}
+
+func TestThrashingWhenWorkingSetExceedsMemory(t *testing.T) {
+	c := cluster()
+	// Cyclic access over 8 pages with 4 frames under LRU: every access
+	// misses.
+	res, err := Run(c, 0, Config{LocalFrames: 4, Backend: Disk}, seqRefs(64, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hits != 0 {
+		t.Fatalf("LRU on a cyclic overcommitted trace should always miss; hits = %d", res.Hits)
+	}
+}
+
+func TestRemoteMemoryBeatsDisk(t *testing.T) {
+	refs := GenRefs(7, 400, 32, 0.8, 0.3)
+	run := func(b Backend) Result {
+		c := cluster()
+		res, err := Run(c, 0, Config{LocalFrames: 8, Backend: b, Server: 1}, refs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	disk := run(Disk)
+	remote := run(RemoteMemory)
+	if disk.Faults != remote.Faults {
+		t.Fatalf("fault counts differ: %d vs %d", disk.Faults, remote.Faults)
+	}
+	if remote.Elapsed*10 >= disk.Elapsed {
+		t.Fatalf("remote paging (%v) should be >10x faster than disk (%v)", remote.Elapsed, disk.Elapsed)
+	}
+}
+
+func TestDirtyPagesWrittenBack(t *testing.T) {
+	c := cluster()
+	refs := []Ref{
+		{Page: 0, Write: true},
+		{Page: 1}, {Page: 2}, // evict page 0 (dirty) with 2 frames
+	}
+	res, err := Run(c, 0, Config{LocalFrames: 2, Backend: RemoteMemory, Server: 1}, refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WriteBacks != 1 {
+		t.Fatalf("write-backs = %d, want 1", res.WriteBacks)
+	}
+}
+
+func TestRemotePagingMovesRealData(t *testing.T) {
+	c := cluster()
+	// Seed the server's copy of page 0: the first touch faults it in,
+	// dirties it, eviction writes it back, and a second fault refetches
+	// it — the content must survive the full round trip.
+	c.Nodes[1].Mem.WriteWord(0, 0xABCD)
+	refs := []Ref{
+		{Page: 0, Write: true}, // fault in from server, dirty
+		{Page: 1}, {Page: 2},   // evict 0 -> write back to server
+		{Page: 0}, // fault back in
+	}
+	res, err := Run(c, 0, Config{LocalFrames: 2, Backend: RemoteMemory, Server: 1}, refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WriteBacks != 1 {
+		t.Fatalf("write-backs = %d", res.WriteBacks)
+	}
+	if got := c.Nodes[1].Mem.ReadWord(0); got != 0xABCD {
+		t.Fatalf("server copy = %#x, want 0xABCD", got)
+	}
+	if got := c.Nodes[0].Mem.ReadWord(0); got != 0xABCD {
+		t.Fatalf("refetched page word = %#x", got)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	c := cluster()
+	if _, err := Run(c, 0, Config{LocalFrames: 0}, nil); err == nil {
+		t.Fatal("zero frames accepted")
+	}
+	c2 := cluster()
+	huge := []Ref{{Page: 1 << 20}}
+	if _, err := Run(c2, 0, Config{LocalFrames: 1, Backend: RemoteMemory, Server: 1}, huge); err == nil {
+		t.Fatal("oversized page space accepted")
+	}
+}
+
+func TestGenRefsShape(t *testing.T) {
+	refs := GenRefs(1, 1000, 50, 0.9, 0.5)
+	if len(refs) != 1000 {
+		t.Fatal("wrong length")
+	}
+	writes := 0
+	for _, r := range refs {
+		if r.Page < 0 || r.Page >= 50 {
+			t.Fatalf("page %d out of range", r.Page)
+		}
+		if r.Write {
+			writes++
+		}
+	}
+	if writes < 300 || writes > 700 {
+		t.Fatalf("write fraction off: %d/1000", writes)
+	}
+	// Determinism.
+	again := GenRefs(1, 1000, 50, 0.9, 0.5)
+	for i := range refs {
+		if refs[i] != again[i] {
+			t.Fatal("GenRefs not deterministic for same seed")
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package params
+
+import (
+	"testing"
+
+	"telegraphos/internal/sim"
+)
+
+// TestCalibrationBudget cross-checks the latency budget documented in
+// the package comment against the actual constants, so a retune that
+// breaks the 7.2 µs read target fails here before it fails in E1.
+func TestCalibrationBudget(t *testing.T) {
+	tm := DefaultTiming()
+	l := DefaultLink()
+	sw := Default(2).Switch
+
+	// One link hop for a header-only packet (40 B = 5 words) + prop.
+	hop := 5*l.WordTime + l.PropDelay
+	netOneWay := 2*hop + sw.RouteDelay // node->switch->node
+
+	read := tm.CPUOp + tm.TCReadSetup + tm.HIBService + // issue
+		netOneWay + // request
+		tm.HIBService + tm.MPMRead + // remote service
+		netOneWay + // reply
+		tm.HIBService + tm.TCReadReply // completion
+	if read != 7200*sim.Nanosecond {
+		t.Errorf("read budget = %v, want 7.2µs; retune params or update the budget", read)
+	}
+
+	writeIssue := tm.CPUOp + tm.TCWriteLatch
+	if writeIssue >= 500*sim.Nanosecond {
+		t.Errorf("write issue = %v, must stay under 0.5µs (E2)", writeIssue)
+	}
+
+	wireRate := 5 * l.WordTime
+	if wireRate != 700*sim.Nanosecond {
+		t.Errorf("per-write wire rate = %v, want 0.70µs (E1)", wireRate)
+	}
+
+	// The remote handler must keep up with the wire, or streams throttle
+	// below 0.70 µs/op.
+	if tm.HIBService+tm.MPMWrite >= wireRate {
+		t.Error("remote write service slower than wire rate; E1 would drift")
+	}
+}
+
+func TestDefaultsSane(t *testing.T) {
+	cfg := Default(4)
+	if cfg.Nodes != 4 || cfg.Topology != "star" {
+		t.Fatal("Default shape wrong")
+	}
+	s := cfg.Sizing
+	if s.PageSize%8 != 0 || s.MemBytes%s.PageSize != 0 {
+		t.Fatal("memory geometry inconsistent")
+	}
+	if s.CounterCacheSize < 16 || s.CounterCacheSize > 32 {
+		t.Fatalf("counter CAM default %d outside the paper's 16-32", s.CounterCacheSize)
+	}
+	if s.MaxOutstandingRds != 1 {
+		t.Fatal("paper: no more than one outstanding read")
+	}
+	if s.MulticastEntries != 16<<10 || s.PageCounterPages != 64<<10 || s.MemBytes != 16<<20 {
+		t.Fatal("Table 1 capacities wrong")
+	}
+	// OS costs must dwarf hardware costs (the paper's premise).
+	if cfg.Timing.Trap < 20*cfg.Timing.TCWriteLatch {
+		t.Fatal("trap cost implausibly close to hardware path")
+	}
+}
+
+func TestPlacementString(t *testing.T) {
+	if SharedOnHIB.String() != "hib-memory" || SharedInMain.String() != "main-memory" {
+		t.Fatal("placement names wrong")
+	}
+}

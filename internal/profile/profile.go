@@ -1,0 +1,134 @@
+// Package profile implements the monitoring use of the page access
+// counters described in §2.2.6: "By setting the counters to very large
+// values and periodically reading them, the system can monitor the page
+// access, find hot-spots, display statistics, and provide useful
+// information for profiling, performance monitoring and visualization
+// tools."
+//
+// A Profiler arms the counters of a set of remote pages on one node with
+// large initial values, samples them on a period, and accumulates
+// per-page, per-direction access counts over time.
+package profile
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"telegraphos/internal/addrspace"
+	"telegraphos/internal/core"
+	"telegraphos/internal/sim"
+)
+
+// armValue is the "very large value" the counters are set to; it bounds
+// the accesses countable between samples.
+const armValue = 1 << 24
+
+// Sample is one page's activity within one sampling interval.
+type Sample struct {
+	At     sim.Time
+	Page   addrspace.GPage
+	Reads  uint64
+	Writes uint64
+}
+
+// Profiler monitors the remote-page access pattern of one node.
+type Profiler struct {
+	c      *core.Cluster
+	node   int
+	period sim.Time
+	pages  []addrspace.GPage
+
+	samples []Sample
+	totals  map[addrspace.GPage][2]uint64 // [reads, writes]
+	stopped bool
+}
+
+// New arms the counters of the pages containing each va (as accessed
+// from node) and samples them every period for the given duration (the
+// sampler must have a bounded lifetime, or it would keep the simulated
+// world ticking forever). Call Stop to end monitoring early and take a
+// final sample.
+func New(c *core.Cluster, node int, period, duration sim.Time, vas ...addrspace.VAddr) *Profiler {
+	p := &Profiler{
+		c:      c,
+		node:   node,
+		period: period,
+		totals: make(map[addrspace.GPage][2]uint64),
+	}
+	h := c.Nodes[node].HIB
+	for _, va := range vas {
+		gp := addrspace.GPageOf(c.SharedGAddr(va), c.PageSize())
+		p.pages = append(p.pages, gp)
+		h.SetPageCounter(gp, armValue, armValue)
+	}
+	until := c.Eng.Now() + duration
+	c.Eng.SpawnDaemon(fmt.Sprintf("profiler.%d", node), func(pr *sim.Proc) {
+		for !p.stopped && pr.Now() < until {
+			pr.Sleep(period)
+			p.sample(pr.Now())
+		}
+	})
+	return p
+}
+
+// sample reads and re-arms every counter.
+func (p *Profiler) sample(now sim.Time) {
+	h := p.c.Nodes[p.node].HIB
+	for _, gp := range p.pages {
+		r, w, ok := h.PageCounter(gp)
+		if !ok {
+			continue
+		}
+		reads := uint64(armValue - r)
+		writes := uint64(armValue - w)
+		if reads == 0 && writes == 0 {
+			continue
+		}
+		p.samples = append(p.samples, Sample{At: now, Page: gp, Reads: reads, Writes: writes})
+		t := p.totals[gp]
+		t[0] += reads
+		t[1] += writes
+		p.totals[gp] = t
+		h.SetPageCounter(gp, armValue, armValue) // re-arm
+	}
+}
+
+// Stop ends sampling (the daemon exits after its next tick) and takes a
+// final sample at the current instant.
+func (p *Profiler) Stop() {
+	if !p.stopped {
+		p.stopped = true
+		p.sample(p.c.Eng.Now())
+	}
+}
+
+// Samples returns the per-interval activity records.
+func (p *Profiler) Samples() []Sample { return append([]Sample(nil), p.samples...) }
+
+// Totals reports cumulative (reads, writes) for page gp.
+func (p *Profiler) Totals(gp addrspace.GPage) (reads, writes uint64) {
+	t := p.totals[gp]
+	return t[0], t[1]
+}
+
+// HotPages lists the monitored pages by descending total access count.
+func (p *Profiler) HotPages() []addrspace.GPage {
+	pages := append([]addrspace.GPage(nil), p.pages...)
+	sort.SliceStable(pages, func(i, j int) bool {
+		a, b := p.totals[pages[i]], p.totals[pages[j]]
+		return a[0]+a[1] > b[0]+b[1]
+	})
+	return pages
+}
+
+// Report renders a hot-page table.
+func (p *Profiler) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %10s %10s\n", "page", "reads", "writes")
+	for _, gp := range p.HotPages() {
+		t := p.totals[gp]
+		fmt.Fprintf(&b, "%-12v %10d %10d\n", gp, t[0], t[1])
+	}
+	return b.String()
+}

@@ -1,0 +1,129 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+
+	"telegraphos/internal/addrspace"
+	"telegraphos/internal/core"
+	"telegraphos/internal/cpu"
+	"telegraphos/internal/params"
+	"telegraphos/internal/sim"
+)
+
+func setup(t *testing.T) (*core.Cluster, []addrspace.VAddr) {
+	t.Helper()
+	cfg := params.Default(2)
+	cfg.Sizing.MemBytes = 1 << 20
+	c := core.New(cfg)
+	vas := []addrspace.VAddr{
+		c.AllocShared(1, c.PageSize()),
+		c.AllocShared(1, c.PageSize()),
+		c.AllocShared(1, c.PageSize()),
+	}
+	return c, vas
+}
+
+func TestProfilerFindsHotPage(t *testing.T) {
+	c, vas := setup(t)
+	p := New(c, 0, 100*sim.Microsecond, 5*sim.Millisecond, vas...)
+	// Page 1 is hot (60 writes), page 0 warm (10 reads), page 2 cold.
+	c.Spawn(0, "w", func(ctx *cpu.Ctx) {
+		for i := 0; i < 60; i++ {
+			ctx.Store(vas[1], uint64(i))
+		}
+		for i := 0; i < 10; i++ {
+			ctx.Load(vas[0])
+		}
+		ctx.Fence()
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	p.Stop()
+
+	hot := p.HotPages()
+	wantHot := addrspace.GPageOf(c.SharedGAddr(vas[1]), c.PageSize())
+	if hot[0] != wantHot {
+		t.Fatalf("hottest page = %v, want %v", hot[0], wantHot)
+	}
+	r, w := p.Totals(wantHot)
+	if w != 60 || r != 0 {
+		t.Fatalf("hot page totals = %d/%d, want 0/60", r, w)
+	}
+	warm := addrspace.GPageOf(c.SharedGAddr(vas[0]), c.PageSize())
+	r, w = p.Totals(warm)
+	if r != 10 || w != 0 {
+		t.Fatalf("warm page totals = %d/%d, want 10/0", r, w)
+	}
+	cold := addrspace.GPageOf(c.SharedGAddr(vas[2]), c.PageSize())
+	if r, w := p.Totals(cold); r != 0 || w != 0 {
+		t.Fatalf("cold page saw traffic: %d/%d", r, w)
+	}
+}
+
+func TestProfilerPeriodicSamples(t *testing.T) {
+	c, vas := setup(t)
+	p := New(c, 0, 50*sim.Microsecond, 5*sim.Millisecond, vas...)
+	c.Spawn(0, "w", func(ctx *cpu.Ctx) {
+		for burst := 0; burst < 3; burst++ {
+			for i := 0; i < 20; i++ {
+				ctx.Store(vas[0], 1)
+			}
+			ctx.Fence()
+			ctx.Compute(120 * sim.Microsecond) // idle between bursts
+		}
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	p.Stop()
+	samples := p.Samples()
+	if len(samples) < 3 {
+		t.Fatalf("expected ≥3 non-empty sampling intervals, got %d", len(samples))
+	}
+	var total uint64
+	for _, s := range samples {
+		total += s.Writes
+	}
+	if total != 60 {
+		t.Fatalf("samples account for %d writes, want 60", total)
+	}
+	// Timestamps must be non-decreasing.
+	for i := 1; i < len(samples); i++ {
+		if samples[i].At < samples[i-1].At {
+			t.Fatal("sample timestamps out of order")
+		}
+	}
+}
+
+func TestReportFormat(t *testing.T) {
+	c, vas := setup(t)
+	p := New(c, 0, 50*sim.Microsecond, 5*sim.Millisecond, vas...)
+	c.Spawn(0, "w", func(ctx *cpu.Ctx) {
+		ctx.Store(vas[0], 1)
+		ctx.Fence()
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	p.Stop()
+	rep := p.Report()
+	if !strings.Contains(rep, "page") || !strings.Contains(rep, "n1:p0") {
+		t.Fatalf("report malformed:\n%s", rep)
+	}
+}
+
+func TestStopIdempotent(t *testing.T) {
+	c, vas := setup(t)
+	p := New(c, 0, 50*sim.Microsecond, 5*sim.Millisecond, vas...)
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	p.Stop()
+	n := len(p.Samples())
+	p.Stop()
+	if len(p.Samples()) != n {
+		t.Fatal("second Stop added samples")
+	}
+}

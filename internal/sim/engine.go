@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Event is a scheduled callback. The zero value is not useful; events are
+// created by Engine.Schedule and Engine.At.
+type Event struct {
+	when     Time
+	seq      uint64
+	fn       func()
+	canceled bool
+}
+
+// Cancel prevents the event's callback from running. Canceling an event
+// that already fired or was already canceled is a no-op.
+func (ev *Event) Cancel() { ev.canceled = true }
+
+// When reports the simulated time at which the event is scheduled to fire.
+func (ev *Event) When() Time { return ev.when }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq // stable: FIFO among simultaneous events
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*Event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// ErrStalled is returned by Run when the event queue drains while
+// non-daemon processes are still blocked: the simulation deadlocked.
+var ErrStalled = errors.New("sim: event queue empty but non-daemon processes still blocked")
+
+// Engine is a deterministic discrete-event simulation engine.
+//
+// Create one with NewEngine, register processes with Spawn/SpawnDaemon,
+// schedule raw events with Schedule, and drive it with Run or RunUntil.
+// An Engine must only be used from its own event/process context once
+// Run has been called; it is not safe for concurrent use from outside.
+type Engine struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	rng     *rand.Rand
+	alive   int // non-daemon procs not yet finished
+	stopped bool
+	failure error
+	current *Proc // proc currently executing, if any
+}
+
+// NewEngine returns an engine at time zero whose random source is seeded
+// with seed, so runs are reproducible.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now reports the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand exposes the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Schedule arranges for fn to run delay nanoseconds from now.
+// A negative delay is treated as zero. Events scheduled for the same
+// instant fire in scheduling order.
+func (e *Engine) Schedule(delay Time, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// At arranges for fn to run at absolute time t (clamped to now).
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	ev := &Event{when: t, seq: e.seq, fn: fn}
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// Stop halts the engine: Run returns after the currently executing event
+// completes. Pending events remain queued.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending reports the number of queued (possibly canceled) events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Alive reports the number of non-daemon processes that have not finished.
+func (e *Engine) Alive() int { return e.alive }
+
+// Run executes events until the queue drains, Stop is called, or a process
+// panics. It returns nil on a clean drain with no blocked non-daemon
+// processes, ErrStalled if such processes remain blocked (deadlock), or an
+// error describing a process panic.
+func (e *Engine) Run() error { return e.RunUntil(-1) }
+
+// RunUntil executes events with timestamps <= deadline (deadline < 0 means
+// no deadline). On return without error the clock equals the deadline if
+// one was given and events remained, otherwise the time of the last event.
+func (e *Engine) RunUntil(deadline Time) error {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		next := e.events[0]
+		if deadline >= 0 && next.when > deadline {
+			e.now = deadline
+			return nil
+		}
+		heap.Pop(&e.events)
+		if next.canceled {
+			continue
+		}
+		e.now = next.when
+		next.fn()
+		if e.failure != nil {
+			return e.failure
+		}
+	}
+	if e.stopped {
+		return nil
+	}
+	if deadline >= 0 && e.now < deadline {
+		e.now = deadline
+	}
+	if e.alive > 0 {
+		return fmt.Errorf("%w (%d blocked)", ErrStalled, e.alive)
+	}
+	return nil
+}
+
+// fail records a process panic; the engine loop notices it and aborts.
+func (e *Engine) fail(name string, v interface{}) {
+	if e.failure == nil {
+		e.failure = fmt.Errorf("sim: process %q panicked: %v", name, v)
+	}
+}

@@ -1,0 +1,379 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{0, "0ns"},
+		{700, "700ns"},
+		{7200, "7.20µs"},
+		{1500 * Microsecond, "1.50ms"},
+		{2 * Second, "2.000s"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	e.Schedule(20, func() { order = append(order, 2) })
+	e.Schedule(10, func() { order = append(order, 1) })
+	e.Schedule(30, func() { order = append(order, 3) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events fired in order %v, want [1 2 3]", order)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("Now() = %v, want 30", e.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { order = append(order, i) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events fired out of order: %v", order)
+		}
+	}
+}
+
+func TestEventCancel(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	ev := e.Schedule(10, func() { fired = true })
+	ev.Cancel()
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine(1)
+	var fired []Time
+	for _, d := range []Time{10, 20, 30, 40} {
+		d := d
+		e.Schedule(d, func() { fired = append(fired, d) })
+	}
+	if err := e.RunUntil(25); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 {
+		t.Fatalf("RunUntil(25) fired %v, want 2 events", fired)
+	}
+	if e.Now() != 25 {
+		t.Fatalf("Now() = %v after RunUntil(25)", e.Now())
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 4 {
+		t.Fatalf("Run() after RunUntil left %d fired, want 4", len(fired))
+	}
+}
+
+func TestProcSleep(t *testing.T) {
+	e := NewEngine(1)
+	var wake Time
+	e.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(100)
+		wake = p.Now()
+		p.Sleep(50)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if wake != 100 {
+		t.Fatalf("woke at %v, want 100", wake)
+	}
+	if e.Now() != 150 {
+		t.Fatalf("final time %v, want 150", e.Now())
+	}
+}
+
+func TestProcInterleavingDeterministic(t *testing.T) {
+	run := func() []string {
+		e := NewEngine(7)
+		var trace []string
+		for _, name := range []string{"a", "b", "c"} {
+			name := name
+			e.Spawn(name, func(p *Proc) {
+				for i := 0; i < 3; i++ {
+					trace = append(trace, name)
+					p.Sleep(10)
+				}
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return trace
+	}
+	first := run()
+	for i := 0; i < 5; i++ {
+		again := run()
+		if len(again) != len(first) {
+			t.Fatalf("nondeterministic trace length")
+		}
+		for j := range first {
+			if first[j] != again[j] {
+				t.Fatalf("nondeterministic interleaving: %v vs %v", first, again)
+			}
+		}
+	}
+}
+
+func TestStalledDetection(t *testing.T) {
+	e := NewEngine(1)
+	c := NewCompletion(e)
+	e.Spawn("blocked", func(p *Proc) { c.Wait(p) })
+	err := e.Run()
+	if !errors.Is(err, ErrStalled) {
+		t.Fatalf("Run() = %v, want ErrStalled", err)
+	}
+}
+
+func TestDaemonDoesNotStall(t *testing.T) {
+	e := NewEngine(1)
+	q := NewQueue[int](e, 0)
+	e.SpawnDaemon("server", func(p *Proc) {
+		for {
+			q.Get(p)
+		}
+	})
+	e.Spawn("client", func(p *Proc) {
+		q.Put(p, 1)
+		p.Sleep(10)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run() = %v, want nil (daemon may block)", err)
+	}
+}
+
+func TestProcPanicPropagates(t *testing.T) {
+	e := NewEngine(1)
+	e.Spawn("bad", func(p *Proc) {
+		p.Sleep(5)
+		panic("boom")
+	})
+	err := e.Run()
+	if err == nil {
+		t.Fatal("Run() = nil, want panic error")
+	}
+}
+
+func TestCompletion(t *testing.T) {
+	e := NewEngine(1)
+	c := NewCompletion(e)
+	var woke []string
+	e.Spawn("w1", func(p *Proc) { c.Wait(p); woke = append(woke, "w1") })
+	e.Spawn("w2", func(p *Proc) { c.Wait(p); woke = append(woke, "w2") })
+	e.Spawn("resolver", func(p *Proc) {
+		p.Sleep(100)
+		c.Complete()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(woke) != 2 || woke[0] != "w1" || woke[1] != "w2" {
+		t.Fatalf("waiters woke as %v, want [w1 w2]", woke)
+	}
+	if e.Now() != 100 {
+		t.Fatalf("completed at %v, want 100", e.Now())
+	}
+	// Waiting on a done completion returns immediately.
+	done := false
+	e.Spawn("late", func(p *Proc) { c.Wait(p); done = true })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("late waiter did not return from done completion")
+	}
+}
+
+func TestFuture(t *testing.T) {
+	e := NewEngine(1)
+	f := NewFuture[uint64](e)
+	var got uint64
+	e.Spawn("reader", func(p *Proc) { got = f.Wait(p) })
+	e.Spawn("writer", func(p *Proc) {
+		p.Sleep(42)
+		f.Resolve(0xdead)
+		f.Resolve(0xbeef) // second resolve ignored
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 0xdead {
+		t.Fatalf("future value %#x, want 0xdead (first resolve wins)", got)
+	}
+}
+
+func TestQueueFIFOAndBlocking(t *testing.T) {
+	e := NewEngine(1)
+	q := NewQueue[int](e, 2)
+	var got []int
+	var putDone Time
+	e.Spawn("producer", func(p *Proc) {
+		for i := 1; i <= 4; i++ {
+			q.Put(p, i)
+		}
+		putDone = p.Now()
+	})
+	e.Spawn("consumer", func(p *Proc) {
+		p.Sleep(100)
+		for i := 0; i < 4; i++ {
+			got = append(got, q.Get(p))
+			p.Sleep(10)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i+1 {
+			t.Fatalf("queue order %v, want [1 2 3 4]", got)
+		}
+	}
+	if putDone < 100 {
+		t.Fatalf("producer finished at %v; should have blocked on full queue until 100", putDone)
+	}
+}
+
+func TestQueueTryOps(t *testing.T) {
+	e := NewEngine(1)
+	q := NewQueue[string](e, 1)
+	if _, ok := q.TryGet(); ok {
+		t.Fatal("TryGet on empty queue succeeded")
+	}
+	if !q.TryPut("a") {
+		t.Fatal("TryPut on empty bounded queue failed")
+	}
+	if q.TryPut("b") {
+		t.Fatal("TryPut on full queue succeeded")
+	}
+	v, ok := q.TryGet()
+	if !ok || v != "a" {
+		t.Fatalf("TryGet = %q,%v want a,true", v, ok)
+	}
+}
+
+func TestSemaphore(t *testing.T) {
+	e := NewEngine(1)
+	s := NewSemaphore(e, 2)
+	var acquired []Time
+	for i := 0; i < 4; i++ {
+		e.Spawn("worker", func(p *Proc) {
+			s.Acquire(p)
+			acquired = append(acquired, p.Now())
+			p.Sleep(50)
+			s.Release()
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(acquired) != 4 {
+		t.Fatalf("got %d acquisitions, want 4", len(acquired))
+	}
+	if acquired[0] != 0 || acquired[1] != 0 {
+		t.Fatalf("first two should acquire at t=0: %v", acquired)
+	}
+	if acquired[2] != 50 || acquired[3] != 50 {
+		t.Fatalf("last two should acquire at t=50: %v", acquired)
+	}
+}
+
+func TestMutexExclusion(t *testing.T) {
+	e := NewEngine(1)
+	m := NewMutex(e)
+	inside := 0
+	maxInside := 0
+	for i := 0; i < 5; i++ {
+		e.Spawn("w", func(p *Proc) {
+			m.Lock(p)
+			inside++
+			if inside > maxInside {
+				maxInside = inside
+			}
+			p.Sleep(10)
+			inside--
+			m.Unlock()
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if maxInside != 1 {
+		t.Fatalf("mutex admitted %d holders", maxInside)
+	}
+	if e.Now() != 50 {
+		t.Fatalf("serialized critical sections should end at 50, got %v", e.Now())
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a := NewEngine(99).Rand().Int63()
+	b := NewEngine(99).Rand().Int63()
+	if a != b {
+		t.Fatal("same seed produced different random streams")
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	e.SpawnDaemon("ticker", func(p *Proc) {
+		for {
+			p.Sleep(10)
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 {
+		t.Fatalf("Stop did not halt engine promptly: count=%d", count)
+	}
+}
+
+func TestYieldRunsPendingEvents(t *testing.T) {
+	e := NewEngine(1)
+	seen := false
+	e.Spawn("p", func(p *Proc) {
+		e.Schedule(0, func() { seen = true })
+		p.Yield()
+		if !seen {
+			t.Error("Yield returned before same-instant event ran")
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

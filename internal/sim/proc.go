@@ -1,0 +1,112 @@
+package sim
+
+import "fmt"
+
+// Proc is a coroutine-style simulation process: a goroutine that runs under
+// the engine's strict hand-off discipline. At most one process (or the
+// engine loop) executes at a time, so process code may freely touch shared
+// simulation state without locks, and every run is deterministic.
+//
+// Process bodies receive their *Proc and may call the blocking primitives
+// Sleep, Hold and the waiting methods on Future, Queue, Semaphore, etc.
+// Those primitives must only be called from within the process's own body.
+type Proc struct {
+	eng    *Engine
+	name   string
+	run    chan struct{} // engine -> proc: resume
+	back   chan struct{} // proc -> engine: parked or finished
+	daemon bool
+	done   bool
+}
+
+// Spawn starts fn as a new process at the current simulated time.
+// The engine's Run reports ErrStalled if any non-daemon process is still
+// blocked when the event queue drains.
+func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
+	return e.spawn(name, fn, false)
+}
+
+// SpawnDaemon starts a process whose permanent blocking does not count as a
+// stall — use it for server loops (HIB engines, switch ports) that park on
+// empty queues forever once the workload finishes.
+func (e *Engine) SpawnDaemon(name string, fn func(*Proc)) *Proc {
+	return e.spawn(name, fn, true)
+}
+
+func (e *Engine) spawn(name string, fn func(*Proc), daemon bool) *Proc {
+	p := &Proc{
+		eng:    e,
+		name:   name,
+		run:    make(chan struct{}),
+		back:   make(chan struct{}),
+		daemon: daemon,
+	}
+	if !daemon {
+		e.alive++
+	}
+	go func() {
+		<-p.run // wait for the first resume
+		defer func() {
+			if r := recover(); r != nil {
+				e.fail(p.name, r)
+			}
+			p.done = true
+			if !p.daemon {
+				e.alive--
+			}
+			p.back <- struct{}{} // return control to the engine
+		}()
+		fn(p)
+	}()
+	e.Schedule(0, p.wake)
+	return p
+}
+
+// Engine returns the engine the process belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Name returns the process's diagnostic name.
+func (p *Proc) Name() string { return p.name }
+
+// Now reports the current simulated time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Done reports whether the process body has returned.
+func (p *Proc) Done() bool { return p.done }
+
+// wake transfers control from the engine loop to the process and blocks
+// until the process parks again or finishes. It runs as an event callback.
+func (p *Proc) wake() {
+	if p.done {
+		return
+	}
+	p.run <- struct{}{}
+	<-p.back
+}
+
+// park returns control to the engine loop and blocks until the next wake.
+// It must be called from the process's own goroutine.
+func (p *Proc) park() {
+	p.back <- struct{}{}
+	<-p.run
+}
+
+// Sleep suspends the process for d nanoseconds of simulated time.
+func (p *Proc) Sleep(d Time) {
+	if d <= 0 {
+		// Even a zero-length sleep yields: the process re-runs after all
+		// events already scheduled for this instant.
+		d = 0
+	}
+	p.eng.Schedule(d, p.wake)
+	p.park()
+}
+
+// Yield lets every event already scheduled for the current instant run
+// before the process continues.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Panicf aborts the simulation with a formatted process error.
+func (p *Proc) Panicf(format string, args ...interface{}) {
+	panic(fmt.Sprintf(format, args...))
+}

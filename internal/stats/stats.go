@@ -1,0 +1,231 @@
+// Package stats provides the small measurement toolkit used by the
+// Telegraphos simulator: sample tallies with percentiles, fixed-width
+// histograms, named counter sets, and (x, y) series for parameter sweeps.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Tally accumulates float64 samples and reports summary statistics.
+// The zero value is an empty tally ready to use.
+type Tally struct {
+	samples []float64
+	sum     float64
+	sorted  bool
+}
+
+// Add records one sample.
+func (t *Tally) Add(v float64) {
+	t.samples = append(t.samples, v)
+	t.sum += v
+	t.sorted = false
+}
+
+// N reports the number of samples.
+func (t *Tally) N() int { return len(t.samples) }
+
+// Sum reports the sum of all samples.
+func (t *Tally) Sum() float64 { return t.sum }
+
+// Mean reports the sample mean (0 for an empty tally).
+func (t *Tally) Mean() float64 {
+	if len(t.samples) == 0 {
+		return 0
+	}
+	return t.sum / float64(len(t.samples))
+}
+
+// Min reports the smallest sample (0 for an empty tally).
+func (t *Tally) Min() float64 {
+	if len(t.samples) == 0 {
+		return 0
+	}
+	t.ensureSorted()
+	return t.samples[0]
+}
+
+// Max reports the largest sample (0 for an empty tally).
+func (t *Tally) Max() float64 {
+	if len(t.samples) == 0 {
+		return 0
+	}
+	t.ensureSorted()
+	return t.samples[len(t.samples)-1]
+}
+
+// StdDev reports the population standard deviation.
+func (t *Tally) StdDev() float64 {
+	n := len(t.samples)
+	if n == 0 {
+		return 0
+	}
+	mean := t.Mean()
+	var ss float64
+	for _, v := range t.samples {
+		d := v - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+// Percentile reports the p-th percentile (0 <= p <= 100) using
+// nearest-rank interpolation.
+func (t *Tally) Percentile(p float64) float64 {
+	n := len(t.samples)
+	if n == 0 {
+		return 0
+	}
+	t.ensureSorted()
+	if p <= 0 {
+		return t.samples[0]
+	}
+	if p >= 100 {
+		return t.samples[n-1]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return t.samples[lo]
+	}
+	frac := rank - float64(lo)
+	return t.samples[lo]*(1-frac) + t.samples[hi]*frac
+}
+
+// Median reports the 50th percentile.
+func (t *Tally) Median() float64 { return t.Percentile(50) }
+
+func (t *Tally) ensureSorted() {
+	if !t.sorted {
+		sort.Float64s(t.samples)
+		t.sorted = true
+	}
+}
+
+// String summarizes the tally for logs.
+func (t *Tally) String() string {
+	return fmt.Sprintf("n=%d mean=%.3g min=%.3g p50=%.3g p99=%.3g max=%.3g",
+		t.N(), t.Mean(), t.Min(), t.Median(), t.Percentile(99), t.Max())
+}
+
+// Histogram counts samples in fixed-width buckets over [lo, hi); samples
+// outside the range land in under/overflow buckets.
+type Histogram struct {
+	lo, hi    float64
+	width     float64
+	buckets   []int64
+	underflow int64
+	overflow  int64
+	n         int64
+}
+
+// NewHistogram returns a histogram with nbuckets fixed-width buckets over
+// [lo, hi). It panics if the range is empty or nbuckets < 1.
+func NewHistogram(lo, hi float64, nbuckets int) *Histogram {
+	if hi <= lo || nbuckets < 1 {
+		panic("stats: invalid histogram range")
+	}
+	return &Histogram{lo: lo, hi: hi, width: (hi - lo) / float64(nbuckets), buckets: make([]int64, nbuckets)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v float64) {
+	h.n++
+	switch {
+	case v < h.lo:
+		h.underflow++
+	case v >= h.hi:
+		h.overflow++
+	default:
+		i := int((v - h.lo) / h.width)
+		if i >= len(h.buckets) { // guard FP edge
+			i = len(h.buckets) - 1
+		}
+		h.buckets[i]++
+	}
+}
+
+// N reports the total sample count.
+func (h *Histogram) N() int64 { return h.n }
+
+// Bucket reports the count in bucket i and the bucket's [lo, hi) bounds.
+func (h *Histogram) Bucket(i int) (count int64, lo, hi float64) {
+	return h.buckets[i], h.lo + float64(i)*h.width, h.lo + float64(i+1)*h.width
+}
+
+// NumBuckets reports the number of fixed-width buckets.
+func (h *Histogram) NumBuckets() int { return len(h.buckets) }
+
+// Outliers reports the underflow and overflow counts.
+func (h *Histogram) Outliers() (under, over int64) { return h.underflow, h.overflow }
+
+// CounterSet is an ordered collection of named int64 counters. Iteration
+// (Names) follows first-Add order, so reports are stable.
+type CounterSet struct {
+	order  []string
+	counts map[string]int64
+}
+
+// NewCounterSet returns an empty counter set.
+func NewCounterSet() *CounterSet {
+	return &CounterSet{counts: make(map[string]int64)}
+}
+
+// Add increments counter name by delta, creating it if needed.
+func (cs *CounterSet) Add(name string, delta int64) {
+	if _, ok := cs.counts[name]; !ok {
+		cs.order = append(cs.order, name)
+	}
+	cs.counts[name] += delta
+}
+
+// Inc increments counter name by one.
+func (cs *CounterSet) Inc(name string) { cs.Add(name, 1) }
+
+// Get reports counter name's value (0 if absent).
+func (cs *CounterSet) Get(name string) int64 { return cs.counts[name] }
+
+// Names lists counters in first-use order.
+func (cs *CounterSet) Names() []string { return append([]string(nil), cs.order...) }
+
+// String renders "a=1 b=2 ..." in first-use order.
+func (cs *CounterSet) String() string {
+	var b strings.Builder
+	for i, n := range cs.order {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", n, cs.counts[n])
+	}
+	return b.String()
+}
+
+// Point is one (x, y) sample of a parameter sweep.
+type Point struct{ X, Y float64 }
+
+// Series is a named sequence of sweep points, e.g. "stall rate vs cache
+// size". It is what the benchmark harness prints for each paper figure.
+type Series struct {
+	Name   string
+	XLabel string
+	YLabel string
+	Points []Point
+}
+
+// Add appends one point.
+func (s *Series) Add(x, y float64) { s.Points = append(s.Points, Point{x, y}) }
+
+// Format renders the series as an aligned two-column table.
+func (s *Series) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", s.Name)
+	fmt.Fprintf(&b, "%-16s %s\n", s.XLabel, s.YLabel)
+	for _, p := range s.Points {
+		fmt.Fprintf(&b, "%-16.6g %.6g\n", p.X, p.Y)
+	}
+	return b.String()
+}

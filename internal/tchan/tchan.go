@@ -1,0 +1,53 @@
+// Package tchan models the TurboChannel I/O bus that connects the CPU to
+// the Telegraphos HIB (§2.2.1). The bus is a single shared resource:
+// transactions serialize, and their costs differ sharply by kind — an
+// uncached write is latched quickly and releases the bus ("write requests
+// do not stall the processor and release the TurboChannel as soon as the
+// write request is latched by the HIB"), while a read transaction holds
+// the processor until data returns.
+package tchan
+
+import (
+	"telegraphos/internal/sim"
+)
+
+// Bus is one node's TurboChannel.
+type Bus struct {
+	eng *sim.Engine
+	mu  *sim.Mutex
+
+	transactions int64
+	busy         sim.Time
+}
+
+// New returns an idle bus.
+func New(eng *sim.Engine) *Bus {
+	return &Bus{eng: eng, mu: sim.NewMutex(eng)}
+}
+
+// Transact occupies the bus for cost, blocking the calling process first
+// for bus arbitration. Use one Transact per bus transaction (write latch,
+// read setup, read reply, DMA beat).
+func (b *Bus) Transact(p *sim.Proc, cost sim.Time) {
+	b.mu.Lock(p)
+	if cost > 0 {
+		p.Sleep(cost)
+	}
+	b.transactions++
+	b.busy += cost
+	b.mu.Unlock()
+}
+
+// Transactions reports the cumulative transaction count.
+func (b *Bus) Transactions() int64 { return b.transactions }
+
+// BusyTime reports the cumulative bus occupancy.
+func (b *Bus) BusyTime() sim.Time { return b.busy }
+
+// Utilization reports occupancy as a fraction of elapsed simulated time.
+func (b *Bus) Utilization() float64 {
+	if b.eng.Now() == 0 {
+		return 0
+	}
+	return float64(b.busy) / float64(b.eng.Now())
+}

@@ -1,0 +1,150 @@
+// Package topology assembles Telegraphos networks: node ports, switches,
+// and the links between them, with deterministic routing tables.
+//
+// Three builders are provided, mirroring the configurations the paper
+// discusses (Figure 1 shows workstations attached to switches that are
+// chained by ribbon cables):
+//
+//   - Pair: two nodes connected back-to-back (the §3.2 testbed);
+//   - Star: every node on one switch;
+//   - Chain: several switches in a line, k nodes per switch.
+//
+// All produced topologies are cycle-free, so combined with the two
+// virtual channels of the link layer the fabric is deadlock-free.
+package topology
+
+import (
+	"fmt"
+
+	"telegraphos/internal/addrspace"
+	"telegraphos/internal/link"
+	"telegraphos/internal/packet"
+	"telegraphos/internal/sim"
+	"telegraphos/internal/switchfab"
+)
+
+// Network is a built fabric. Node i injects packets with Send and drains
+// packets addressed to it with Recv.
+type Network struct {
+	eng      *sim.Engine
+	toNet    []*link.Link // per node: node -> fabric
+	fromNet  []*link.Link // per node: fabric -> node
+	Switches []*switchfab.Switch
+	kind     string
+}
+
+// NumNodes reports the number of attached nodes.
+func (n *Network) NumNodes() int { return len(n.toNet) }
+
+// Kind names the topology ("pair", "star", "chain").
+func (n *Network) Kind() string { return n.kind }
+
+// Send injects pkt into the fabric at its source node. It blocks the
+// calling process for injection-link credit and wire time.
+func (n *Network) Send(p *sim.Proc, pkt *packet.Packet) {
+	n.toNet[pkt.Src].Send(p, pkt)
+}
+
+// Recv returns the next packet addressed to node on vc, blocking the
+// calling process until one arrives.
+func (n *Network) Recv(p *sim.Proc, node addrspace.NodeID, vc packet.VC) *packet.Packet {
+	return n.fromNet[node].Recv(p, vc)
+}
+
+// TryRecv returns an already-arrived packet for node on vc, if any.
+func (n *Network) TryRecv(node addrspace.NodeID, vc packet.VC) (*packet.Packet, bool) {
+	return n.fromNet[node].TryRecv(vc)
+}
+
+// NodeEgress exposes node i's injection link (telemetry).
+func (n *Network) NodeEgress(i addrspace.NodeID) *link.Link { return n.toNet[i] }
+
+// NodeIngress exposes node i's delivery link (telemetry).
+func (n *Network) NodeIngress(i addrspace.NodeID) *link.Link { return n.fromNet[i] }
+
+// BuildPair connects exactly two nodes back-to-back with one link in each
+// direction and no switch.
+func BuildPair(eng *sim.Engine, lcfg link.Config) *Network {
+	ab := link.New(eng, "n0->n1", lcfg)
+	ba := link.New(eng, "n1->n0", lcfg)
+	return &Network{
+		eng:     eng,
+		toNet:   []*link.Link{ab, ba},
+		fromNet: []*link.Link{ba, ab},
+		kind:    "pair",
+	}
+}
+
+// BuildStar attaches nnodes nodes to a single switch.
+func BuildStar(eng *sim.Engine, nnodes int, lcfg link.Config, scfg switchfab.Config) *Network {
+	if nnodes < 1 {
+		panic("topology: star needs at least one node")
+	}
+	sw := switchfab.New(eng, "sw0", scfg)
+	n := &Network{eng: eng, Switches: []*switchfab.Switch{sw}, kind: "star"}
+	for i := 0; i < nnodes; i++ {
+		up := link.New(eng, fmt.Sprintf("n%d->sw0", i), lcfg)
+		down := link.New(eng, fmt.Sprintf("sw0->n%d", i), lcfg)
+		port := sw.AttachPort(up, down)
+		sw.SetRoute(addrspace.NodeID(i), port)
+		n.toNet = append(n.toNet, up)
+		n.fromNet = append(n.fromNet, down)
+	}
+	sw.Start()
+	return n
+}
+
+// BuildChain places nnodes nodes on a line of switches, perSwitch nodes
+// per switch, with bidirectional trunk links between adjacent switches.
+func BuildChain(eng *sim.Engine, nnodes, perSwitch int, lcfg link.Config, scfg switchfab.Config) *Network {
+	if nnodes < 1 || perSwitch < 1 {
+		panic("topology: chain needs nodes and perSwitch >= 1")
+	}
+	nsw := (nnodes + perSwitch - 1) / perSwitch
+	switches := make([]*switchfab.Switch, nsw)
+	for s := range switches {
+		switches[s] = switchfab.New(eng, fmt.Sprintf("sw%d", s), scfg)
+	}
+	n := &Network{eng: eng, Switches: switches, kind: "chain"}
+
+	// Node ports.
+	nodePort := make([]int, nnodes) // port index of node i on its switch
+	for i := 0; i < nnodes; i++ {
+		s := i / perSwitch
+		up := link.New(eng, fmt.Sprintf("n%d->sw%d", i, s), lcfg)
+		down := link.New(eng, fmt.Sprintf("sw%d->n%d", s, i), lcfg)
+		nodePort[i] = switches[s].AttachPort(up, down)
+		n.toNet = append(n.toNet, up)
+		n.fromNet = append(n.fromNet, down)
+	}
+
+	// Trunks between adjacent switches.
+	rightPort := make([]int, nsw) // port on switch s leading to s+1
+	leftPort := make([]int, nsw)  // port on switch s leading to s-1
+	for s := 0; s < nsw-1; s++ {
+		lr := link.New(eng, fmt.Sprintf("sw%d->sw%d", s, s+1), lcfg)
+		rl := link.New(eng, fmt.Sprintf("sw%d->sw%d", s+1, s), lcfg)
+		rightPort[s] = switches[s].AttachPort(rl, lr)
+		leftPort[s+1] = switches[s+1].AttachPort(lr, rl)
+	}
+
+	// Deterministic routing: local nodes to their port, everything else
+	// down the line toward the destination's switch.
+	for s := 0; s < nsw; s++ {
+		for i := 0; i < nnodes; i++ {
+			dstSw := i / perSwitch
+			switch {
+			case dstSw == s:
+				switches[s].SetRoute(addrspace.NodeID(i), nodePort[i])
+			case dstSw > s:
+				switches[s].SetRoute(addrspace.NodeID(i), rightPort[s])
+			default:
+				switches[s].SetRoute(addrspace.NodeID(i), leftPort[s])
+			}
+		}
+	}
+	for _, sw := range switches {
+		sw.Start()
+	}
+	return n
+}

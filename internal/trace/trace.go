@@ -1,0 +1,152 @@
+// Package trace defines memory-access traces and synthetic generators in
+// the spirit of the paper's trace-driven coherence studies ([22]) and the
+// remote-paging study ([21]). Traces drive the page-access-counter and
+// replication experiments (E9) and can be stored in a compact binary
+// format for the tgtrace tool.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/rand"
+)
+
+// Access is one shared-memory reference.
+type Access struct {
+	// Node is the issuing node's rank.
+	Node int
+	// Write distinguishes stores from loads.
+	Write bool
+	// Word is the shared-array word index.
+	Word int
+}
+
+// Split partitions a trace into per-node subsequences (preserving each
+// node's program order).
+func Split(t []Access, nodes int) [][]Access {
+	out := make([][]Access, nodes)
+	for _, a := range t {
+		if a.Node >= 0 && a.Node < nodes {
+			out[a.Node] = append(out[a.Node], a)
+		}
+	}
+	return out
+}
+
+// Stats summarizes a trace.
+type Stats struct {
+	Accesses int
+	Writes   int
+	Words    map[int]int // per-word access counts
+}
+
+// Summarize computes trace statistics.
+func Summarize(t []Access) Stats {
+	s := Stats{Words: make(map[int]int)}
+	for _, a := range t {
+		s.Accesses++
+		if a.Write {
+			s.Writes++
+		}
+		s.Words[a.Word]++
+	}
+	return s
+}
+
+// HotPage generates a trace where every node hammers a small hot region:
+// with probability hotFrac an access lands in the first hotWords words,
+// otherwise uniformly in [0, words). Accesses round-robin across nodes.
+func HotPage(seed int64, n, nodes, words, hotWords int, hotFrac, writeFrac float64) []Access {
+	rng := rand.New(rand.NewSource(seed))
+	t := make([]Access, n)
+	for i := range t {
+		w := rng.Intn(words)
+		if rng.Float64() < hotFrac {
+			w = rng.Intn(hotWords)
+		}
+		t[i] = Access{Node: i % nodes, Write: rng.Float64() < writeFrac, Word: w}
+	}
+	return t
+}
+
+// ProducerConsumer generates the paper's favourite pattern: node 0
+// writes a block, every other node reads it, repeatedly.
+func ProducerConsumer(iters, nodes, words int) []Access {
+	var t []Access
+	for it := 0; it < iters; it++ {
+		for w := 0; w < words; w++ {
+			t = append(t, Access{Node: 0, Write: true, Word: w})
+		}
+		for n := 1; n < nodes; n++ {
+			for w := 0; w < words; w++ {
+				t = append(t, Access{Node: n, Word: w})
+			}
+		}
+	}
+	return t
+}
+
+// Uniform generates uniformly random accesses.
+func Uniform(seed int64, n, nodes, words int, writeFrac float64) []Access {
+	rng := rand.New(rand.NewSource(seed))
+	t := make([]Access, n)
+	for i := range t {
+		t[i] = Access{Node: rng.Intn(nodes), Write: rng.Float64() < writeFrac, Word: rng.Intn(words)}
+	}
+	return t
+}
+
+// magic identifies the binary trace format.
+var magic = [4]byte{'T', 'G', 'T', '1'}
+
+// Write stores a trace in the compact binary format.
+func Write(w io.Writer, t []Access) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(t))); err != nil {
+		return err
+	}
+	for _, a := range t {
+		rec := uint64(a.Word)<<17 | uint64(a.Node&0xFFFF)<<1
+		if a.Write {
+			rec |= 1
+		}
+		if err := binary.Write(bw, binary.LittleEndian, rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read loads a trace written by Write.
+func Read(r io.Reader) ([]Access, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, err
+	}
+	if m != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", m)
+	}
+	var n uint32
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	t := make([]Access, n)
+	for i := range t {
+		var rec uint64
+		if err := binary.Read(br, binary.LittleEndian, &rec); err != nil {
+			return nil, err
+		}
+		t[i] = Access{
+			Write: rec&1 != 0,
+			Node:  int(rec >> 1 & 0xFFFF),
+			Word:  int(rec >> 17),
+		}
+	}
+	return t, nil
+}

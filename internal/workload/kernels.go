@@ -1,0 +1,95 @@
+package workload
+
+// Additional kernels: a strip-partitioned stencil (SOR-like) and a
+// parallel reduction — the "scientific and engineering" computations the
+// paper's introduction motivates.
+
+// Stencil runs a 1-D strip-partitioned red/black relaxation: each
+// participant owns words [lo, hi) of the shared array; each sweep
+// updates the even-indexed words (reading only odd neighbours), then,
+// after a barrier, the odd-indexed words. The phase separation makes the
+// data flow deterministic, so the result is identical on every substrate
+// — which the tests exploit to cross-check Telegraphos against the DSM.
+// It returns the participant's final first-word value.
+func Stencil(m Mem, words, sweeps int) uint64 {
+	n, id := m.N(), m.Node()
+	lo := id * words / n
+	hi := (id + 1) * words / n
+	if hi <= lo {
+		hi = lo + 1
+	}
+	relax := func(parity int) {
+		for w := lo; w < hi; w++ {
+			if w%2 != parity {
+				continue
+			}
+			left := uint64(0)
+			if w > 0 {
+				left = m.Load(w - 1)
+			}
+			right := uint64(0)
+			if w+1 < words {
+				right = m.Load(w + 1)
+			}
+			m.Compute(ComputeGrain)
+			m.Store(w, (left+right)/2+1)
+		}
+		m.Barrier()
+	}
+	for s := 0; s < sweeps; s++ {
+		relax(0) // red
+		relax(1) // black
+	}
+	return m.Load(lo)
+}
+
+// Reduction computes a tree reduction of per-node partial sums: each
+// node writes its partial into its slot, then log2(n) combining rounds
+// halve the active set, each separated by a barrier. Word 0 holds the
+// final sum. Every participant returns it.
+func Reduction(m Mem, partial uint64) uint64 {
+	n, id := m.N(), m.Node()
+	m.Store(id, partial)
+	m.Barrier()
+	for stride := 1; stride < n; stride *= 2 {
+		if id%(2*stride) == 0 && id+stride < n {
+			a := m.Load(id)
+			b := m.Load(id + stride)
+			m.Compute(ComputeGrain)
+			m.Store(id, a+b)
+		}
+		m.Barrier()
+	}
+	return m.Load(0)
+}
+
+// PingPongLatency bounces a token between participants 0 and 1 for the
+// given number of round trips (others idle at barriers); it exercises
+// the substrate's small-message latency. Returns the number of bounces
+// this participant observed.
+func PingPongLatency(m Mem, rounds int) int {
+	if m.Node() > 1 {
+		m.Barrier()
+		return 0
+	}
+	const slot = 0
+	bounces := 0
+	for r := 1; r <= rounds; r++ {
+		if m.Node() == 0 {
+			// Wait for token value 2r-2, publish 2r-1.
+			for m.Load(slot) != uint64(2*r-2) {
+				m.Compute(ComputeGrain)
+			}
+			m.Store(slot, uint64(2*r-1))
+			bounces++
+		} else {
+			for m.Load(slot) != uint64(2*r-1) {
+				m.Compute(ComputeGrain)
+			}
+			m.Store(slot, uint64(2*r))
+			bounces++
+		}
+	}
+	m.Barrier()
+	return bounces
+}

@@ -1,0 +1,49 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestStencilTGAndDSMAgree(t *testing.T) {
+	const n, words, sweeps = 2, 16, 3
+	tgOut := runTG(t, n, words, func(m Mem) uint64 { return Stencil(m, words, sweeps) })
+	dsmOut := runDSM(t, n, words, func(m Mem) uint64 { return Stencil(m, words, sweeps) })
+	for i := 0; i < n; i++ {
+		if tgOut[i] != dsmOut[i] {
+			t.Fatalf("participant %d: TG=%d DSM=%d — substrates disagree", i, tgOut[i], dsmOut[i])
+		}
+	}
+}
+
+func TestReductionCorrect(t *testing.T) {
+	const n = 4
+	out := runTG(t, n, n, func(m Mem) uint64 {
+		return Reduction(m, uint64((m.Node()+1)*10))
+	})
+	want := uint64(10 + 20 + 30 + 40)
+	for i, v := range out {
+		if v != want {
+			t.Fatalf("participant %d saw sum %d, want %d", i, v, want)
+		}
+	}
+}
+
+func TestReductionSingleNode(t *testing.T) {
+	out := runTG(t, 1, 1, func(m Mem) uint64 { return Reduction(m, 7) })
+	if out[0] != 7 {
+		t.Fatalf("1-node reduction = %d", out[0])
+	}
+}
+
+func TestPingPongBounces(t *testing.T) {
+	const rounds = 5
+	out := runTG(t, 3, 1, func(m Mem) uint64 {
+		return uint64(PingPongLatency(m, rounds))
+	})
+	if out[0] != rounds || out[1] != rounds {
+		t.Fatalf("bounces = %d/%d, want %d each", out[0], out[1], rounds)
+	}
+	if out[2] != 0 {
+		t.Fatal("idle node bounced")
+	}
+}

@@ -1,0 +1,134 @@
+package telegraphos_test
+
+import (
+	"testing"
+
+	tg "telegraphos"
+)
+
+// TestSixteenNodeChainMixedTraffic is the repository's scale test: a
+// 16-workstation chain (4 switches) running four traffic patterns
+// simultaneously — a replicated page under update coherence, remote
+// atomics on a global counter, user-level channels, and background
+// remote-write streams — checking global invariants at the end.
+func TestSixteenNodeChainMixedTraffic(t *testing.T) {
+	const n = 16
+	c := tg.NewCluster(
+		tg.WithNodes(n),
+		tg.WithTopology("chain"),
+		tg.WithChainPerSwitch(4),
+		tg.WithSeed(3),
+	)
+	u := c.AttachUpdateCoherence(tg.CountersCached)
+
+	// A page replicated on the four "corner" nodes.
+	page := c.AllocShared(0, 4096)
+	copies := []int{0, 5, 10, 15}
+	u.SharePage(page, 0, copies)
+
+	// A global counter on node 8.
+	ctr := c.AllocShared(8, 8)
+
+	// Channels from each odd node to its even neighbour.
+	chans := make(map[int]*tg.Channel)
+	for i := 1; i < n; i += 2 {
+		chans[i] = c.NewChannel(tg.NodeID(i-1), 32)
+	}
+
+	bar := c.NewBarrier(0, n)
+	incsPerNode := 8
+	for i := 0; i < n; i++ {
+		i := i
+		w := bar.Participant()
+		c.Spawn(i, "mixed", func(ctx *tg.Ctx) {
+			// Everyone bumps the global counter.
+			for k := 0; k < incsPerNode; k++ {
+				ctx.FetchAndInc(ctr)
+			}
+			// Replica holders write the shared page.
+			for _, cp := range copies {
+				if cp == i {
+					for k := 0; k < 10; k++ {
+						ctx.Store(page+tg.VAddr(8*((i+k)%64)), uint64(i*100+k))
+						ctx.Compute(2 * tg.Microsecond)
+					}
+				}
+			}
+			// Odd nodes send a message to their even neighbour.
+			if ch, ok := chans[i]; ok {
+				ch.Send(ctx, []uint64{uint64(i), uint64(i * 2)})
+			}
+			if i%2 == 0 && i+1 < n {
+				got := chans[i+1].Recv(ctx, 2)
+				if got[0] != uint64(i+1) || got[1] != uint64(2*(i+1)) {
+					t.Errorf("node %d: bad message %v", i, got)
+				}
+			}
+			ctx.Fence()
+			w.Wait(ctx)
+		})
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Invariant: the counter counted every increment exactly once.
+	var final uint64
+	c.Spawn(8, "check", func(ctx *tg.Ctx) { final = ctx.Load(ctr) })
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if final != uint64(n*incsPerNode) {
+		t.Fatalf("global counter = %d, want %d", final, n*incsPerNode)
+	}
+
+	// Invariant: all four replicas of the shared page are identical.
+	off := c.SharedOffset(page)
+	for w := 0; w < 64; w++ {
+		ref := c.Nodes[copies[0]].Mem.ReadWord(off + uint64(8*w))
+		for _, cp := range copies[1:] {
+			if got := c.Nodes[cp].Mem.ReadWord(off + uint64(8*w)); got != ref {
+				t.Fatalf("replica divergence at word %d: node %d has %d, node %d has %d",
+					w, copies[0], ref, cp, got)
+			}
+		}
+	}
+
+	// Invariant: the fabric never misrouted and no counters leaked.
+	rep := c.Snapshot()
+	if rep.SwitchMisroutes != 0 {
+		t.Fatalf("misroutes: %d", rep.SwitchMisroutes)
+	}
+	for _, cp := range copies {
+		if live := u.Mgr(cp).Cache().Live(); live != 0 {
+			t.Fatalf("node %d leaked %d pending-write counters", cp, live)
+		}
+	}
+}
+
+// TestScaleDeterminism re-runs a smaller mixed workload and requires
+// bit-identical final simulated time across runs.
+func TestScaleDeterminism(t *testing.T) {
+	run := func() tg.Time {
+		c := tg.NewCluster(tg.WithNodes(8), tg.WithTopology("chain"), tg.WithChainPerSwitch(2), tg.WithSeed(99))
+		ctr := c.AllocShared(0, 8)
+		bar := c.NewBarrier(0, 8)
+		for i := 0; i < 8; i++ {
+			w := bar.Participant()
+			c.Spawn(i, "p", func(ctx *tg.Ctx) {
+				for k := 0; k < 5; k++ {
+					ctx.FetchAndInc(ctr)
+				}
+				w.Wait(ctx)
+			})
+		}
+		if err := c.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return c.Eng.Now()
+	}
+	first := run()
+	if second := run(); second != first {
+		t.Fatalf("nondeterministic at scale: %v vs %v", first, second)
+	}
+}
