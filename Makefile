@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: check build vet test race chaos bench fuzz
+
+# Tier-1 verify: build + vet + tests + race detector.
+check:
+	./scripts/check.sh
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Deterministic chaos soak (see cmd/tgchaos; SEEDS seeds from START).
+SEEDS ?= 200
+START ?= 0
+chaos:
+	$(GO) run ./cmd/tgchaos -seeds $(SEEDS) -start $(START)
+
+bench:
+	$(GO) run ./cmd/tgbench
+
+# Short fuzz pass over the wire-format and address-space targets.
+fuzz:
+	$(GO) test ./internal/packet -fuzz FuzzEncodeDecode -fuzztime 10s
+	$(GO) test ./internal/addrspace -fuzz FuzzAddrRoundTrips -fuzztime 10s

@@ -23,7 +23,10 @@ func main() {
 	exp := flag.String("exp", "", "run a single experiment (E1..E14)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	asJSON := flag.Bool("json", false, "emit results as JSON")
+	seed := flag.Int64("seed", 1, "deterministic base seed (same seed → bit-identical output)")
 	flag.Parse()
+
+	experiments.SetSeed(*seed)
 
 	if *list {
 		for _, id := range experiments.IDs() {

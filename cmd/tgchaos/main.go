@@ -1,0 +1,75 @@
+// Command tgchaos is the deterministic chaos soak driver: it sweeps
+// seeded simulation-test scenarios (random cluster shapes and workloads
+// under link fault injection, see internal/simtest) and reports every
+// invariant violation together with the one-line reproducer.
+//
+// Usage:
+//
+//	tgchaos                    # 100 seeds starting at 0, faults on
+//	tgchaos -seeds 1000        # a longer soak
+//	tgchaos -start 5000        # a different seed range
+//	tgchaos -seed 17 -v        # replay one seed, verbose
+//	tgchaos -clean             # fault-free control sweep
+//	tgchaos -broken            # sanity: the broken protocol must be caught
+//
+// Exit status 1 if any scenario violated an invariant.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"telegraphos/internal/simtest"
+)
+
+func main() {
+	seeds := flag.Int64("seeds", 100, "number of seeds to sweep")
+	start := flag.Int64("start", 0, "first seed of the sweep")
+	one := flag.Int64("seed", -1, "replay a single seed (overrides the sweep)")
+	clean := flag.Bool("clean", false, "disable fault injection (control runs)")
+	broken := flag.Bool("broken", false, "run the deliberately broken coherence variant (violations expected)")
+	stop := flag.Bool("stop-on-fail", false, "stop at the first failing seed")
+	verbose := flag.Bool("v", false, "print every scenario, not just failures")
+	flag.Parse()
+
+	lo, hi := *start, *start+*seeds
+	if *one >= 0 {
+		lo, hi = *one, *one+1
+		*verbose = true
+	}
+
+	failures := 0
+	for seed := lo; seed < hi; seed++ {
+		res, err := simtest.Run(seed, simtest.Options{NoFaults: *clean, BreakCoherence: *broken})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tgchaos: seed %d: %v\n", seed, err)
+			os.Exit(1)
+		}
+		if *verbose || res.Failed() {
+			fmt.Printf("%s  events=%d hash=%#016x time=%v\n",
+				res.Scenario.String(), res.Events, res.TraceHash, res.SimTime)
+			if res.Scenario.Faults != nil {
+				fs := res.FaultStats
+				fmt.Printf("  faults: dropped=%d duplicated=%d reordered=%d retransmits=%d deduped=%d\n",
+					fs.Dropped, fs.Duplicated, fs.Reordered, fs.Retransmits, fs.Deduped)
+			}
+		}
+		if res.Failed() {
+			failures++
+			for _, v := range res.Violations {
+				fmt.Printf("  VIOLATION %s\n", v.String())
+			}
+			fmt.Printf("  reproduce: %s\n", simtest.Reproducer(seed))
+			if *stop {
+				break
+			}
+		}
+	}
+
+	if failures > 0 {
+		fmt.Printf("tgchaos: %d of %d scenarios violated invariants\n", failures, hi-lo)
+		os.Exit(1)
+	}
+	fmt.Printf("tgchaos: %d scenarios clean\n", hi-lo)
+}

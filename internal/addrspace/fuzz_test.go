@@ -1,0 +1,75 @@
+package addrspace
+
+import "testing"
+
+// FuzzAddrRoundTrips checks the address-space bit-field conventions over
+// arbitrary inputs: global and physical encodings must round-trip their
+// fields exactly, the shadow bit must behave as §2.2.4's "an address
+// differs from its shadow only in the highest bit", and the global/
+// physical conversions must be mutually consistent.
+func FuzzAddrRoundTrips(f *testing.F) {
+	f.Add(uint16(0), uint16(0), uint64(0))
+	f.Add(uint16(7), uint16(3), uint64(0x1234))
+	f.Add(uint16(0xFFFF), uint16(1), uint64(1)<<45-8)
+	f.Add(uint16(2), uint16(2), ^uint64(0))
+	f.Fuzz(func(t *testing.T, node16, self16 uint16, rawOff uint64) {
+		node, self := NodeID(node16), NodeID(self16)
+		off := rawOff & uint64(OffsetMask) // offsets are 45-bit by contract
+
+		// Global addresses carry (node, offset) exactly.
+		g := NewGAddr(node, off)
+		if g.Node() != node || g.Offset() != off {
+			t.Fatalf("GAddr(%v,%#x) round-tripped to (%v,%#x)", node, off, g.Node(), g.Offset())
+		}
+
+		// Remote physical addresses route to the I/O bus and carry both
+		// fields; local ones carry the offset and stay off the bus.
+		rp := RemotePA(node, off)
+		if !rp.IsIO() || rp.IsHIBReg() || rp.Node() != node || rp.Offset() != off {
+			t.Fatalf("RemotePA(%v,%#x) malformed: %v", node, off, rp)
+		}
+		lp := LocalPA(off)
+		if lp.IsIO() || lp.Offset() != off {
+			t.Fatalf("LocalPA(%#x) malformed: %v", off, lp)
+		}
+
+		// Shadow addressing: exactly one bit of difference, reversible.
+		if rp.WithShadow()&^ShadowBit != rp || !rp.WithShadow().IsShadow() {
+			t.Fatalf("shadow of %v changes more than the shadow bit", rp)
+		}
+		if rp.WithShadow().ClearShadow() != rp {
+			t.Fatalf("ClearShadow(WithShadow(%v)) != original", rp)
+		}
+
+		// PAFrom and GAddrOfPA are inverses from any vantage node.
+		if got := g.PAFrom(node); got != lp {
+			t.Fatalf("PAFrom(home) = %v, want local %v", got, lp)
+		}
+		if self != node {
+			if got := g.PAFrom(self); got != rp {
+				t.Fatalf("PAFrom(%v) = %v, want remote %v", self, got, rp)
+			}
+		}
+		if back, ok := GAddrOfPA(self, rp); !ok || back != g {
+			t.Fatalf("GAddrOfPA(%v, %v) = (%v,%v), want (%v,true)", self, rp, back, ok, g)
+		}
+		if back, ok := GAddrOfPA(self, lp); !ok || back != NewGAddr(self, off) {
+			t.Fatalf("GAddrOfPA(%v, %v) = (%v,%v), want local identity", self, lp, back, ok)
+		}
+
+		// Virtual shadow images share the base address.
+		va := VAddr(rawOff &^ uint64(VShadowBit))
+		if va.Shadow().Base() != va || !va.Shadow().IsShadow() {
+			t.Fatalf("VAddr shadow round trip failed for %#x", uint64(va))
+		}
+
+		// Page arithmetic brackets the offset for the supported sizes.
+		for _, ps := range []int{4096, 8192, 16384} {
+			pn := PageOf(off, ps)
+			base := PageBase(pn, ps)
+			if base > off || off-base >= uint64(ps) {
+				t.Fatalf("page arithmetic: off %#x not within page %d (base %#x, size %d)", off, pn, base, ps)
+			}
+		}
+	})
+}

@@ -9,6 +9,7 @@ import (
 	"telegraphos/internal/consistency"
 	"telegraphos/internal/core"
 	"telegraphos/internal/cpu"
+	"telegraphos/internal/link"
 	"telegraphos/internal/params"
 	"telegraphos/internal/sim"
 )
@@ -25,7 +26,29 @@ import (
 //     applied sequence).
 func TestUpdateProtocolPropertyConvergence(t *testing.T) {
 	for seed := int64(1); seed <= 12; seed++ {
-		seed := seed
+		updateProtocolProperty(t, seed, nil)
+	}
+}
+
+// TestUpdateProtocolPropertyUnderFaults re-runs the same property with
+// link fault injection enabled: packet drops, duplicates, jitter, and
+// reordering on every link. The retransmission layer must make the
+// protocol's invariants hold exactly as on a lossless fabric.
+func TestUpdateProtocolPropertyUnderFaults(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		updateProtocolProperty(t, seed, &link.FaultPlan{
+			Seed:        seed,
+			DropProb:    0.08,
+			DupProb:     0.04,
+			ReorderProb: 0.06,
+			JitterMax:   500 * sim.Nanosecond,
+		})
+	}
+}
+
+func updateProtocolProperty(t *testing.T, seed int64, faults *link.FaultPlan) {
+	t.Helper()
+	{
 		rng := rand.New(rand.NewSource(seed))
 		nodes := 2 + rng.Intn(3) // 2..4
 		words := 1 + rng.Intn(6) // 1..6 contended words
@@ -35,6 +58,7 @@ func TestUpdateProtocolPropertyConvergence(t *testing.T) {
 		cfg := params.Default(nodes)
 		cfg.Sizing.MemBytes = 1 << 20
 		cfg.Seed = seed
+		cfg.Link.Faults = faults
 		c := core.New(cfg)
 		u := NewUpdate(c, mode)
 		x := c.AllocShared(0, 8*words)
@@ -107,6 +131,12 @@ func TestUpdateProtocolPropertyConvergence(t *testing.T) {
 			if live := u.Mgr(n).Cache().Live(); live != 0 {
 				t.Fatalf("seed %d: node %d leaked %d counters", seed, n, live)
 			}
+		}
+
+		// With faults on, make sure the plan actually exercised the
+		// recovery path at least once across the run.
+		if faults != nil && c.Net.FaultStats().Total() == 0 {
+			t.Fatalf("seed %d: fault plan installed but no faults fired", seed)
 		}
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"telegraphos/internal/packet"
 	"telegraphos/internal/sim"
 	"telegraphos/internal/stats"
+	"telegraphos/internal/trace"
 )
 
 // CounterMode selects the pending-write counter implementation.
@@ -54,7 +55,20 @@ type Update struct {
 	c    *core.Cluster
 	mode CounterMode
 	mgrs []*UpdateMgr
+
+	// breakVictim, when set, deliberately breaks the protocol (see
+	// BreakSkipReflectTo). Test-only.
+	breakVictim *addrspace.NodeID
 }
+
+// BreakSkipReflectTo deliberately breaks the protocol for checker
+// validation: every manager silently skips reflections destined for
+// victim (other than the decrement reflections of victim's own writes,
+// which must still flow or the counters would leak). Victim's replica
+// stops receiving foreign updates, so under concurrent writers its copy
+// diverges — exactly the failure the simtest invariant checkers must
+// catch. Never use outside tests.
+func (u *Update) BreakSkipReflectTo(victim addrspace.NodeID) { u.breakVictim = &victim }
 
 // NewUpdate attaches the update protocol to every node of c.
 func NewUpdate(c *core.Cluster, mode CounterMode) *Update {
@@ -202,6 +216,8 @@ func (m *UpdateMgr) LocalSharedWrite(p *sim.Proc, offset uint64, v uint64) bool 
 	m.record(offset, v)
 	if st.owner == m.node {
 		m.Counters.Inc("owner-write")
+		// The owner's own store is its serialization point.
+		m.h.Emit(trace.EvUpdateSerialize, offset, v, uint64(m.node))
 		m.reflect(p, st, offset, v, m.node)
 		return true
 	}
@@ -235,6 +251,9 @@ func (m *UpdateMgr) reflect(p *sim.Proc, st *upage, offset uint64, v uint64, ori
 	for _, dst := range st.copies {
 		if dst == m.node {
 			continue
+		}
+		if m.u.breakVictim != nil && dst == *m.u.breakVictim && origin != dst {
+			continue // deliberately broken variant (BreakSkipReflectTo)
 		}
 		m.Counters.Inc("reflect")
 		m.h.AddOutstanding(1)
@@ -286,6 +305,7 @@ func (m *UpdateMgr) ownerSerialize(p *sim.Proc, pkt *packet.Packet, ack bool) bo
 	m.h.Mem().WriteWord(offset, pkt.Val)
 	m.record(offset, pkt.Val)
 	m.Counters.Inc("owner-serialized")
+	m.h.Emit(trace.EvUpdateSerialize, offset, pkt.Val, uint64(origin))
 	m.reflect(p, st, offset, pkt.Val, origin)
 	if ack {
 		m.h.Post(p, &packet.Packet{Type: packet.WriteAck, Dst: pkt.Src})
@@ -329,6 +349,7 @@ func (m *UpdateMgr) applyReflected(p *sim.Proc, pkt *packet.Packet) bool {
 		m.h.Mem().WriteWord(offset, pkt.Val)
 		m.record(offset, pkt.Val)
 		m.Counters.Inc("reflect-applied")
+		m.h.Emit(trace.EvReflectApply, offset, pkt.Val, uint64(pkt.Origin))
 	case own:
 		// Rule 2: our own write coming back — decrement, ignore.
 		m.cache.Dec(offset)
@@ -340,6 +361,7 @@ func (m *UpdateMgr) applyReflected(p *sim.Proc, pkt *packet.Packet) bool {
 		m.h.Mem().WriteWord(offset, pkt.Val)
 		m.record(offset, pkt.Val)
 		m.Counters.Inc("reflect-applied")
+		m.h.Emit(trace.EvReflectApply, offset, pkt.Val, uint64(pkt.Origin))
 	}
 	if own {
 		// Our forwarded update has completed its round trip.

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"strings"
+
+	"telegraphos/internal/link"
 )
 
 // NodeReport is one node's aggregated telemetry.
@@ -31,6 +33,9 @@ type Report struct {
 	// SwitchMisroutes counts packets dropped for lack of a route (a
 	// configuration bug if non-zero).
 	SwitchMisroutes int64
+	// Faults aggregates fault-injection and recovery telemetry across
+	// every distinct link (all zero without a fault plan).
+	Faults link.FaultStats
 }
 
 // Snapshot collects every component's counters.
@@ -57,6 +62,7 @@ func (c *Cluster) Snapshot() *Report {
 		r.SwitchForwarded += sw.Forwarded()
 		r.SwitchMisroutes += sw.Misroutes()
 	}
+	r.Faults = c.Net.FaultStats()
 	return r
 }
 
@@ -66,6 +72,10 @@ func (r *Report) Format() string {
 	fmt.Fprintf(&b, "simulated time: %s\n", r.SimTime)
 	if r.SwitchForwarded > 0 || r.SwitchMisroutes > 0 {
 		fmt.Fprintf(&b, "switches: %d forwarded, %d misroutes\n", r.SwitchForwarded, r.SwitchMisroutes)
+	}
+	if r.Faults.Total() > 0 {
+		fmt.Fprintf(&b, "link faults: %d dropped, %d duplicated, %d reordered; recovery: %d retransmits, %d deduped\n",
+			r.Faults.Dropped, r.Faults.Duplicated, r.Faults.Reordered, r.Faults.Retransmits, r.Faults.Deduped)
 	}
 	for _, n := range r.Nodes {
 		fmt.Fprintf(&b, "node %d:\n", n.Node)

@@ -30,7 +30,7 @@ func E13SwitchLoad() *Result {
 	var latLow, latHigh float64
 	loads := []float64{0.1, 0.3, 0.5, 0.7, 0.9, 1.1}
 	for _, load := range loads {
-		eng := sim.NewEngine(42)
+		eng := sim.NewEngine(41 + baseSeed)
 		net := topology.BuildStar(eng, nodes, params.DefaultLink(), switchfab.Config{RouteDelay: 100})
 		gap := sim.Time(float64(wirePerPkt) / load)
 

@@ -15,6 +15,7 @@ import (
 // lightCluster builds a small-memory cluster for experiments.
 func lightCluster(n int) *core.Cluster {
 	cfg := params.Default(n)
+	cfg.Seed = baseSeed
 	cfg.Sizing.MemBytes = 1 << 21
 	return core.New(cfg)
 }

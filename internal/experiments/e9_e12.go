@@ -23,6 +23,7 @@ import (
 // lightClusterWithCAM builds a cluster with a specific counter-CAM size.
 func lightClusterWithCAM(n, cam int) *core.Cluster {
 	cfg := params.Default(n)
+	cfg.Seed = baseSeed
 	cfg.Sizing.MemBytes = 1 << 21
 	cfg.Sizing.CounterCacheSize = cam
 	return core.New(cfg)
@@ -120,9 +121,10 @@ func E10RemotePaging() *Result {
 	series := stats.Series{Name: "E10: paging slowdown vs local memory fraction", XLabel: "local_frames", YLabel: "disk_over_remote"}
 	var ratioAt8 float64
 	for _, frames := range []int{4, 8, 16, 24} {
-		refs := paging.GenRefs(11, 300, 32, 0.7, 0.3)
+		refs := paging.GenRefs(10+baseSeed, 300, 32, 0.7, 0.3)
 		run := func(b paging.Backend) sim.Time {
 			cfg := params.Default(2)
+			cfg.Seed = baseSeed
 			cfg.Sizing.MemBytes = 1 << 21
 			cfg.Sizing.PageSize = 4096
 			c := core.New(cfg)
@@ -211,6 +213,7 @@ func E11Substrates() *Result {
 
 	channel := func() sim.Time {
 		cfg := params.Default(n)
+		cfg.Seed = baseSeed
 		cfg.Sizing.MemBytes = 1 << 21
 		cfg.Placement = params.SharedInMain
 		c := core.New(cfg)

@@ -15,6 +15,17 @@ import (
 	"telegraphos/internal/stats"
 )
 
+// baseSeed seeds every cluster and engine the experiments build. The
+// whole pipeline is deterministic: two runs with the same base seed
+// produce bit-identical results (determinism_test.go pins this down).
+var baseSeed int64 = 1
+
+// SetSeed overrides the base seed used by every experiment.
+func SetSeed(s int64) { baseSeed = s }
+
+// Seed reports the experiments' current base seed.
+func Seed() int64 { return baseSeed }
+
 // Row is one paper-vs-measured comparison line.
 type Row struct {
 	Name     string

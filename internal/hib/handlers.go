@@ -6,6 +6,7 @@ import (
 	"telegraphos/internal/addrspace"
 	"telegraphos/internal/packet"
 	"telegraphos/internal/sim"
+	"telegraphos/internal/trace"
 )
 
 // MsgSink receives bulk MsgData packets (set by the message-passing
@@ -43,6 +44,7 @@ func (h *HIB) handleRequest(p *sim.Proc, pkt *packet.Packet) {
 	case packet.WriteReq:
 		p.Sleep(h.timing.MPMWrite)
 		h.mem.WriteWord(pkt.Addr.Offset(), pkt.Val)
+		h.Emit(trace.EvWriteApply, uint64(pkt.Addr), pkt.Val, uint64(pkt.Src))
 		h.ack(pkt.Src)
 
 	case packet.ReadReq:
@@ -53,6 +55,7 @@ func (h *HIB) handleRequest(p *sim.Proc, pkt *packet.Packet) {
 	case packet.AtomicReq:
 		p.Sleep(h.timing.MPMRead + h.timing.MPMWrite)
 		old := h.applyAtomic(pkt.Op, pkt.Addr.Offset(), pkt.Val, pkt.Val2)
+		h.Emit(trace.EvAtomicApply, uint64(pkt.Addr), pkt.Val, uint64(pkt.Src))
 		h.reply(&packet.Packet{Type: packet.AtomicReply, Dst: pkt.Src, Val: old, ReqID: pkt.ReqID})
 
 	case packet.CopyReq:
@@ -60,6 +63,7 @@ func (h *HIB) handleRequest(p *sim.Proc, pkt *packet.Packet) {
 
 	case packet.MsgData:
 		if h.msgSink != nil {
+			h.Emit(trace.EvMsgDeliver, uint64(pkt.Addr), uint64(pkt.Len), uint64(pkt.Src))
 			h.msgSink(p, pkt)
 		} else {
 			h.Counters.Inc("msg-dropped")
@@ -101,6 +105,7 @@ func (h *HIB) handleReply(p *sim.Proc, pkt *packet.Packet) {
 		} else {
 			h.mem.WriteWord(pkt.Addr.Offset(), pkt.Val)
 		}
+		h.Emit(trace.EvCopyApply, uint64(pkt.Addr), uint64(len(pkt.Data)), pkt.ReqID)
 		if pkt.Last {
 			if pkt.Origin == h.node {
 				h.AddOutstanding(-1)

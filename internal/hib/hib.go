@@ -29,6 +29,7 @@ import (
 	"telegraphos/internal/stats"
 	"telegraphos/internal/tchan"
 	"telegraphos/internal/topology"
+	"telegraphos/internal/trace"
 )
 
 // Coherence is the hook a memory-coherence protocol installs on the HIB.
@@ -84,6 +85,7 @@ type HIB struct {
 	coherence    Coherence
 	msgSink      MsgSink
 	pal          palState
+	recorder     func(trace.Event)
 
 	// Counters is the HIB's telemetry (operation and packet counts).
 	Counters *stats.CounterSet
@@ -128,6 +130,21 @@ func (h *HIB) Timing() params.Timing { return h.timing }
 
 // SetCoherence installs the coherence protocol hooks.
 func (h *HIB) SetCoherence(c Coherence) { h.coherence = c }
+
+// SetRecorder installs an event recorder: every observable memory action
+// serviced by this board (and by an attached coherence protocol) is
+// appended to it. Used by the simulation-test harness; nil disables
+// recording.
+func (h *HIB) SetRecorder(fn func(trace.Event)) { h.recorder = fn }
+
+// Emit records one event on this node's stream (no-op without a
+// recorder). Exposed so attached protocol layers share the board's log.
+func (h *HIB) Emit(kind trace.EventKind, addr, val, aux uint64) {
+	if h.recorder == nil {
+		return
+	}
+	h.recorder(trace.Event{At: int64(h.eng.Now()), Node: int(h.node), Kind: kind, Addr: addr, Val: val, Aux: aux})
+}
 
 // Outstanding reports the current count of outstanding remote operations.
 func (h *HIB) Outstanding() int { return h.outstanding }
@@ -202,10 +219,11 @@ func (h *HIB) AddOutstanding(delta int) {
 // node has completed (§2.3.5 MEMORY_BARRIER).
 func (h *HIB) Fence(p *sim.Proc) {
 	h.Counters.Inc("fence")
-	if h.outstanding == 0 {
-		return
+	h.Emit(trace.EvFenceStart, 0, uint64(h.outstanding), 0)
+	if h.outstanding != 0 {
+		c := sim.NewCompletion(h.eng)
+		h.fenceWaiters = append(h.fenceWaiters, c)
+		c.Wait(p)
 	}
-	c := sim.NewCompletion(h.eng)
-	h.fenceWaiters = append(h.fenceWaiters, c)
-	c.Wait(p)
+	h.Emit(trace.EvFenceEnd, 0, 0, 0)
 }

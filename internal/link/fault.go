@@ -1,0 +1,234 @@
+// Fault injection and the link-level retransmission protocol.
+//
+// A FaultPlan turns the ideal lossless wire into an adversarial one:
+// packets may be dropped, duplicated, delayed by random jitter, or held
+// back so that later packets overtake them. To keep the external contract
+// the rest of the machine depends on — lossless, in-order, exactly-once
+// per virtual channel — a faulty link runs a go-back-style ARQ sublayer:
+// every frame carries a per-VC sequence number, the receiver acknowledges
+// cumulatively and reassembles order with a reorder buffer, duplicates
+// are recognized and discarded by sequence number, and unacknowledged
+// frames are retransmitted on a timer. This mirrors the fault-tolerant
+// link layers of NIC-based protocol work (e.g. APEnet+): the wire is
+// unreliable, the link presents reliability upward.
+package link
+
+import (
+	"telegraphos/internal/packet"
+	"telegraphos/internal/sim"
+)
+
+// FaultPlan describes the seeded fault environment for every link built
+// with it. Probabilities apply per transmission attempt; all randomness
+// derives from Seed and the link's name, so a plan is fully deterministic.
+type FaultPlan struct {
+	// Seed drives every per-link random stream.
+	Seed int64
+	// DropProb is the probability a transmitted frame vanishes in flight.
+	DropProb float64
+	// DupProb is the probability a frame is delivered twice.
+	DupProb float64
+	// ReorderProb is the probability a frame is held back by ReorderDelay,
+	// letting frames sent after it arrive first.
+	ReorderProb float64
+	// JitterMax adds a uniform random [0, JitterMax] to every frame's
+	// propagation delay.
+	JitterMax sim.Time
+	// ReorderDelay is the hold-back applied to reordered frames
+	// (default 2 µs when zero and ReorderProb > 0).
+	ReorderDelay sim.Time
+	// RetryTimeout is the ARQ retransmission timer (a safe default is
+	// derived from the link parameters when zero). Spurious retransmits
+	// are harmless: the receiver deduplicates by sequence number.
+	RetryTimeout sim.Time
+}
+
+// Active reports whether the plan injects any fault at all.
+func (fp *FaultPlan) Active() bool {
+	return fp != nil && (fp.DropProb > 0 || fp.DupProb > 0 || fp.ReorderProb > 0 || fp.JitterMax > 0)
+}
+
+// FaultStats counts fault events and recovery work on one link.
+type FaultStats struct {
+	Dropped     int64 // frames lost in flight
+	Duplicated  int64 // frames delivered twice by the wire
+	Reordered   int64 // frames held back past their successors
+	Retransmits int64 // ARQ retransmission attempts
+	Deduped     int64 // duplicate frames discarded by the receiver
+	Buffered    int64 // out-of-order frames parked in the reorder buffer
+}
+
+// Add accumulates other into s.
+func (s *FaultStats) Add(other FaultStats) {
+	s.Dropped += other.Dropped
+	s.Duplicated += other.Duplicated
+	s.Reordered += other.Reordered
+	s.Retransmits += other.Retransmits
+	s.Deduped += other.Deduped
+	s.Buffered += other.Buffered
+}
+
+// Total reports the number of injected fault events (not recovery work).
+func (s FaultStats) Total() int64 { return s.Dropped + s.Duplicated + s.Reordered }
+
+// frame is one ARQ transfer unit: a packet plus its per-VC sequence number.
+type frame struct {
+	seq uint64
+	pkt *packet.Packet
+}
+
+// injector is the per-link fault + ARQ state. All of it runs in engine
+// event context under the engine's single-threaded discipline.
+type injector struct {
+	l       *Link
+	rng     *sim.RNG
+	plan    FaultPlan
+	timeout sim.Time
+
+	// Sender state, per VC: frames sent but not yet cumulatively acked.
+	nextSeq [packet.NumVCs]uint64
+	sent    [packet.NumVCs]map[uint64]*packet.Packet
+	timers  [packet.NumVCs]map[uint64]*sim.Event
+	acked   [packet.NumVCs]uint64 // all seq < acked are acknowledged
+
+	// Receiver state, per VC: next expected sequence number and the
+	// reorder buffer of frames that arrived early.
+	expect [packet.NumVCs]uint64
+	held   [packet.NumVCs]map[uint64]*packet.Packet
+
+	stats FaultStats
+}
+
+// newInjector builds the ARQ state for l under plan.
+func newInjector(l *Link, plan FaultPlan) *injector {
+	inj := &injector{
+		l:    l,
+		rng:  sim.ForkRNG(uint64(plan.Seed), "link/"+l.name),
+		plan: plan,
+	}
+	if inj.plan.ReorderDelay == 0 {
+		inj.plan.ReorderDelay = 2 * sim.Microsecond
+	}
+	inj.timeout = plan.RetryTimeout
+	if inj.timeout == 0 {
+		// Cover the worst honest one-way delay (propagation + jitter +
+		// reorder hold-back + a generous serialization allowance) with
+		// margin; too short only costs harmless duplicate retransmits.
+		inj.timeout = 4*(l.cfg.PropDelay+inj.plan.JitterMax+inj.plan.ReorderDelay) +
+			128*l.cfg.WordTime + 10*sim.Microsecond
+	}
+	for vc := 0; vc < packet.NumVCs; vc++ {
+		inj.sent[vc] = make(map[uint64]*packet.Packet)
+		inj.timers[vc] = make(map[uint64]*sim.Event)
+		inj.held[vc] = make(map[uint64]*packet.Packet)
+	}
+	return inj
+}
+
+// send enters a packet into the ARQ sender after it has cleared the wire:
+// it is assigned the next sequence number, transmitted through the faulty
+// channel, and guarded by a retransmission timer until acknowledged.
+func (inj *injector) send(vc packet.VC, pkt *packet.Packet) {
+	seq := inj.nextSeq[vc]
+	inj.nextSeq[vc]++
+	inj.sent[vc][seq] = pkt
+	inj.transmit(vc, frame{seq: seq, pkt: pkt})
+}
+
+// transmit pushes one frame attempt through the faulty channel and arms
+// the retransmission timer.
+func (inj *injector) transmit(vc packet.VC, f frame) {
+	delay := inj.l.cfg.PropDelay + inj.rng.Duration(inj.plan.JitterMax)
+	switch {
+	case inj.rng.Bool(inj.plan.DropProb):
+		inj.stats.Dropped++
+		// The frame vanishes; only the retry timer will resurrect it.
+	case inj.rng.Bool(inj.plan.DupProb):
+		inj.stats.Duplicated++
+		inj.l.eng.Schedule(delay, func() { inj.arrive(vc, f) })
+		extra := delay + inj.rng.Duration(inj.plan.JitterMax) + sim.Microsecond
+		inj.l.eng.Schedule(extra, func() { inj.arrive(vc, f) })
+	case inj.rng.Bool(inj.plan.ReorderProb):
+		inj.stats.Reordered++
+		inj.l.eng.Schedule(delay+inj.plan.ReorderDelay, func() { inj.arrive(vc, f) })
+	default:
+		inj.l.eng.Schedule(delay, func() { inj.arrive(vc, f) })
+	}
+	inj.armTimer(vc, f)
+}
+
+// armTimer schedules a retransmission for f unless it is acked first.
+func (inj *injector) armTimer(vc packet.VC, f frame) {
+	if ev := inj.timers[vc][f.seq]; ev != nil {
+		ev.Cancel()
+	}
+	inj.timers[vc][f.seq] = inj.l.eng.Schedule(inj.timeout, func() {
+		if _, live := inj.sent[vc][f.seq]; !live {
+			return // acked while the timer event was in flight
+		}
+		inj.stats.Retransmits++
+		inj.transmit(vc, f)
+	})
+}
+
+// arrive is the receiver side: deduplicate, restore order, deliver, ack.
+func (inj *injector) arrive(vc packet.VC, f frame) {
+	switch {
+	case f.seq < inj.expect[vc]:
+		inj.stats.Deduped++ // already delivered: a wire dup or a spurious retransmit
+	case f.seq > inj.expect[vc]:
+		if _, dup := inj.held[vc][f.seq]; dup {
+			inj.stats.Deduped++
+		} else {
+			inj.stats.Buffered++
+			inj.held[vc][f.seq] = f.pkt
+		}
+	default:
+		inj.deliver(vc, f.pkt)
+		inj.expect[vc]++
+		for {
+			pkt, ok := inj.held[vc][inj.expect[vc]]
+			if !ok {
+				break
+			}
+			delete(inj.held[vc], inj.expect[vc])
+			inj.deliver(vc, pkt)
+			inj.expect[vc]++
+		}
+	}
+	// Cumulative acknowledgement travels the reverse control channel,
+	// modeled as a reliable signal with the link's propagation delay.
+	upTo := inj.expect[vc]
+	inj.l.eng.Schedule(inj.l.cfg.PropDelay, func() { inj.ack(vc, upTo) })
+}
+
+// deliver hands an in-order, exactly-once packet to the link's arrived
+// queue — the same queue the fault-free path uses, so Recv is unchanged.
+func (inj *injector) deliver(vc packet.VC, pkt *packet.Packet) {
+	inj.l.arrived[vc].TryPut(pkt)
+}
+
+// ack processes a cumulative acknowledgement: every frame below upTo is
+// released and its retransmission timer canceled.
+func (inj *injector) ack(vc packet.VC, upTo uint64) {
+	for seq := inj.acked[vc]; seq < upTo; seq++ {
+		delete(inj.sent[vc], seq)
+		if ev := inj.timers[vc][seq]; ev != nil {
+			ev.Cancel()
+			delete(inj.timers[vc], seq)
+		}
+	}
+	if upTo > inj.acked[vc] {
+		inj.acked[vc] = upTo
+	}
+}
+
+// unacked reports the number of frames awaiting acknowledgement (telemetry
+// and quiescence checking).
+func (inj *injector) unacked() int {
+	n := 0
+	for vc := 0; vc < packet.NumVCs; vc++ {
+		n += len(inj.sent[vc])
+	}
+	return n
+}

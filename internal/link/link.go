@@ -26,6 +26,11 @@ type Config struct {
 	// BufPackets is the receiver buffer capacity, in packets, per
 	// virtual channel; it is also the sender's credit count.
 	BufPackets int
+	// Faults, when non-nil and active, makes the wire adversarial
+	// (seeded drops, duplicates, jitter, reordering) and enables the ARQ
+	// sublayer that restores the lossless in-order contract. See
+	// FaultPlan.
+	Faults *FaultPlan
 }
 
 // DefaultConfig reflects the Telegraphos I ribbon-cable links: roughly
@@ -45,6 +50,7 @@ type Link struct {
 	wire    *sim.Mutex
 	credits [packet.NumVCs]*sim.Semaphore
 	arrived [packet.NumVCs]*sim.Queue[*packet.Packet]
+	inj     *injector // nil on a fault-free link
 
 	// Telemetry.
 	sentPackets int64
@@ -65,6 +71,9 @@ func New(eng *sim.Engine, name string, cfg Config) *Link {
 		l.credits[vc] = sim.NewSemaphore(eng, cfg.BufPackets)
 		l.arrived[vc] = sim.NewQueue[*packet.Packet](eng, 0)
 	}
+	if cfg.Faults.Active() {
+		l.inj = newInjector(l, *cfg.Faults)
+	}
 	return l
 }
 
@@ -83,7 +92,9 @@ func (l *Link) transferTime(pkt *packet.Packet) sim.Time {
 // Send transmits pkt, blocking the calling process until a receive buffer
 // credit is available on the packet's VC and the wire is free, then for
 // the packet's serialization time. The packet is delivered to the far end
-// PropDelay later. Per VC, packets arrive in exactly the order sent.
+// PropDelay later. Per VC, packets arrive in exactly the order sent —
+// on a faulty link the ARQ sublayer restores that order and delivers
+// exactly once despite drops, duplicates, and reordering on the wire.
 func (l *Link) Send(p *sim.Proc, pkt *packet.Packet) {
 	vc := pkt.Class()
 	l.credits[vc].Acquire(p) // back-pressure: wait for far-end buffer space
@@ -94,6 +105,10 @@ func (l *Link) Send(p *sim.Proc, pkt *packet.Packet) {
 	l.sentPackets++
 	l.sentWords += int64((pkt.SizeBytes() + 7) / 8)
 	l.wire.Unlock()
+	if l.inj != nil {
+		l.inj.send(vc, pkt)
+		return
+	}
 	l.eng.Schedule(l.cfg.PropDelay, func() {
 		l.arrived[vc].TryPut(pkt) // unbounded queue: credits already bound it
 	})
@@ -136,6 +151,27 @@ func (l *Link) Utilization() float64 {
 	}
 	return float64(l.busy) / float64(now)
 }
+
+// FaultStats reports the link's injected-fault and recovery counters
+// (all zero on a fault-free link).
+func (l *Link) FaultStats() FaultStats {
+	if l.inj == nil {
+		return FaultStats{}
+	}
+	return l.inj.stats
+}
+
+// Unacked reports ARQ frames still awaiting acknowledgement; after the
+// fabric quiesces it must be zero.
+func (l *Link) Unacked() int {
+	if l.inj == nil {
+		return 0
+	}
+	return l.inj.unacked()
+}
+
+// Faulty reports whether the link runs a fault plan.
+func (l *Link) Faulty() bool { return l.inj != nil }
 
 // String renders the link name and counters.
 func (l *Link) String() string {

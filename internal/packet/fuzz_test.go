@@ -1,0 +1,81 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+
+	"telegraphos/internal/addrspace"
+)
+
+// FuzzDecode throws arbitrary bytes at the wire-frame parser: it must
+// never panic, and anything it accepts must re-encode to a frame that
+// decodes to the same packet (no partially-validated state escapes).
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(make([]byte, 64))
+	f.Add(Encode(&Packet{Type: WriteReq, Src: 1, Dst: 2, Addr: addrspace.NewGAddr(2, 0x100), Val: 42}))
+	f.Add(Encode(&Packet{Type: CopyData, Data: []uint64{1, 2, 3}, Last: true}))
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		p, err := Decode(buf)
+		if err != nil {
+			return
+		}
+		q, err := Decode(Encode(p))
+		if err != nil {
+			t.Fatalf("re-decode of accepted packet failed: %v", err)
+		}
+		if !packetsEqual(p, q) {
+			t.Fatalf("decode/encode/decode not stable:\n p=%+v\n q=%+v", p, q)
+		}
+	})
+}
+
+// FuzzEncodeDecode drives Encode/Decode with arbitrary field values: the
+// round trip must reproduce every field exactly for every valid type.
+func FuzzEncodeDecode(f *testing.F) {
+	f.Add(uint8(1), uint16(0), uint16(1), uint64(0x100), uint64(0), uint64(7), uint64(0), uint64(9), uint32(0), uint16(0), uint8(0), true, uint32(2))
+	f.Add(uint8(5), uint16(3), uint16(4), uint64(1<<44), uint64(1<<45), uint64(^uint64(0)), uint64(1), uint64(2), uint32(512), uint16(7), uint8(2), false, uint32(0))
+	f.Fuzz(func(t *testing.T, typ uint8, src, dst uint16, addr, addr2, val, val2, reqID uint64, length uint32, origin uint16, op uint8, last bool, words uint32) {
+		if Type(typ) == Invalid || Type(typ) >= numTypes {
+			return
+		}
+		words %= 256 // keep payloads small
+		p := &Packet{
+			Type: Type(typ), Op: AtomicOp(op), Last: last,
+			Src: addrspace.NodeID(src), Dst: addrspace.NodeID(dst), Origin: addrspace.NodeID(origin),
+			Addr: addrspace.GAddr(addr), Addr2: addrspace.GAddr(addr2),
+			Val: val, Val2: val2, ReqID: reqID, Len: length,
+		}
+		for i := uint32(0); i < words; i++ {
+			p.Data = append(p.Data, val^uint64(i)*0x9E3779B97F4A7C15)
+		}
+		buf := Encode(p)
+		q, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("decode of encoded packet failed: %v", err)
+		}
+		if !packetsEqual(p, q) {
+			t.Fatalf("round trip lost fields:\n in=%+v\nout=%+v", p, q)
+		}
+		if !bytes.Equal(buf, Encode(q)) {
+			t.Fatalf("re-encode differs from original frame")
+		}
+	})
+}
+
+// packetsEqual compares every wire-carried field.
+func packetsEqual(a, b *Packet) bool {
+	if a.Type != b.Type || a.Op != b.Op || a.Last != b.Last || a.Hops != b.Hops ||
+		a.Src != b.Src || a.Dst != b.Dst || a.Origin != b.Origin ||
+		a.Addr != b.Addr || a.Addr2 != b.Addr2 ||
+		a.Val != b.Val || a.Val2 != b.Val2 || a.ReqID != b.ReqID || a.Len != b.Len ||
+		len(a.Data) != len(b.Data) {
+		return false
+	}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,258 @@
+package simtest
+
+import (
+	"fmt"
+
+	"telegraphos/internal/addrspace"
+	"telegraphos/internal/consistency"
+	"telegraphos/internal/trace"
+)
+
+// checkOne appends one formatted violation.
+func checkOne(vs *[]Violation, inv, format string, args ...any) {
+	*vs = append(*vs, Violation{Invariant: inv, Detail: fmt.Sprintf(format, args...)})
+}
+
+// checkInvariants walks the final cluster state and the recorded event
+// stream after a quiesced run and returns every violated property.
+func (h *harness) checkInvariants() []Violation {
+	vs := append([]Violation(nil), h.runtime...)
+	h.checkDrain(&vs)
+	h.checkCoherence(&vs)
+	h.checkMulticast(&vs)
+	h.checkCopies(&vs)
+	h.checkPlain(&vs)
+	h.checkAtomics(&vs)
+	h.checkFences(&vs)
+	return vs
+}
+
+// checkDrain: after quiescence nothing may remain in flight — no
+// outstanding remote operations, no live pending-write counters, no
+// unacknowledged ARQ frames, no queued packets.
+func (h *harness) checkDrain(vs *[]Violation) {
+	for i, n := range h.c.Nodes {
+		if o := n.HIB.Outstanding(); o != 0 {
+			checkOne(vs, "drain", "node %d still has %d outstanding operations", i, o)
+		}
+		if live := h.u.Mgr(i).Cache().Live(); live != 0 {
+			checkOne(vs, "counter-hygiene", "node %d has %d live pending-write counters", i, live)
+		}
+	}
+	if u := h.c.Net.UnackedFrames(); u != 0 {
+		checkOne(vs, "drain", "%d link frames still unacknowledged", u)
+	}
+	if q := h.c.Net.QueuedPackets(); q != 0 {
+		checkOne(vs, "drain", "%d packets still queued in the fabric", q)
+	}
+}
+
+// checkCoherence: every replica of the protocol page must equal the
+// owner's copy; the owner's copy must hold the last serialized value; and
+// the per-node applied-value histories must embed in one total order.
+func (h *harness) checkCoherence(vs *[]Violation) {
+	cohOff := h.c.SharedOffset(h.cohVA.va)
+	lastSerial := make(map[uint64]uint64) // offset → last serialized value
+	for _, e := range h.log.Events() {
+		if e.Kind == trace.EvUpdateSerialize {
+			lastSerial[e.Addr] = e.Val
+		}
+	}
+	for w := 0; w < h.sc.CohWords; w++ {
+		off := cohOff + 8*uint64(w)
+		ownerV := h.c.Nodes[h.sc.Owner].Mem.ReadWord(off)
+		for _, n := range h.sc.Copies {
+			if v := h.c.Nodes[n].Mem.ReadWord(off); v != ownerV {
+				checkOne(vs, "coherence-convergence",
+					"word %d: replica on node %d holds %#x, owner (node %d) holds %#x",
+					w, n, v, h.sc.Owner, ownerV)
+			}
+		}
+		if want, ok := lastSerial[off]; ok && ownerV != want {
+			checkOne(vs, "coherence-convergence",
+				"word %d: owner holds %#x but the last serialized write was %#x", w, ownerV, want)
+		}
+
+		histories := make(map[string][]uint64, len(h.sc.Copies))
+		for _, n := range h.sc.Copies {
+			histories[fmt.Sprintf("node%d", n)] = h.u.Mgr(n).AppliedValues(off)
+		}
+		if err := consistency.CheckCoherent(histories); err != nil {
+			checkOne(vs, "coherence-order", "word %d: %v", w, err)
+		}
+	}
+}
+
+// checkMulticast: the single-writer multicast page must converge — every
+// replica equal to the writer's copy — and every multicast write must have
+// been applied exactly once per destination (the ARQ layer's exactly-once
+// contract).
+func (h *harness) checkMulticast(vs *[]Violation) {
+	mcOff := h.c.SharedOffset(h.mcVA.va)
+	m := h.mcVA.home
+	nDests := h.sc.Nodes - 1
+	for w := 0; w < mcWords; w++ {
+		off := mcOff + 8*uint64(w)
+		want := h.c.Nodes[m].Mem.ReadWord(off)
+		for i := 0; i < h.sc.Nodes; i++ {
+			if i == m {
+				continue
+			}
+			if v := h.c.Nodes[i].Mem.ReadWord(off); v != want {
+				checkOne(vs, "multicast-convergence",
+					"word %d: replica on node %d holds %#x, writer (node %d) holds %#x", w, i, v, m, want)
+			}
+		}
+	}
+	applies := make(map[uint64]int)
+	for _, e := range h.log.Events() {
+		if e.Kind == trace.EvWriteApply {
+			if _, ok := h.mcVals[e.Val]; ok {
+				applies[e.Val]++
+			}
+		}
+	}
+	for v := range h.mcVals {
+		if got := applies[v]; got != nDests {
+			checkOne(vs, "exactly-once",
+				"multicast value %#x applied %d times, want exactly %d (one per replica)", v, got, nDests)
+		}
+	}
+}
+
+// checkCopies: every destination region that received at least one remote
+// copy must equal the (immutable) source region word for word.
+func (h *harness) checkCopies(vs *[]Violation) {
+	srcOff := h.c.SharedOffset(h.srcVA.va)
+	for i := 0; i < h.sc.Nodes; i++ {
+		if h.copied[i] == 0 {
+			continue
+		}
+		dstOff := h.c.SharedOffset(h.dstVA[i].va)
+		for j := 0; j < h.sc.CopyWords; j++ {
+			want := h.c.Nodes[h.srcVA.home].Mem.ReadWord(srcOff + 8*uint64(j))
+			got := h.c.Nodes[i].Mem.ReadWord(dstOff + 8*uint64(j))
+			if got != want {
+				checkOne(vs, "copy-integrity",
+					"node %d dst word %d holds %#x, source holds %#x", i, j, got, want)
+				break // one diff per region is enough detail
+			}
+		}
+	}
+}
+
+// checkPlain: on the unreplicated region every issued write must have
+// applied exactly once at the home node (no loss, no duplication), every
+// applied value must be a value some program issued, and the final word
+// must be the value of the last apply event for that word.
+func (h *harness) checkPlain(vs *[]Violation) {
+	plainOff := h.c.SharedOffset(h.plainVA.va)
+	home := addrspace.NodeID(h.plainVA.home)
+	addrOf := make(map[uint64]int, h.sc.PlainWords) // global addr → word
+	for w := 0; w < h.sc.PlainWords; w++ {
+		addrOf[uint64(addrspace.NewGAddr(home, plainOff+8*uint64(w)))] = w
+	}
+	applied := make(map[uint64]int) // value → apply count
+	lastVal := make(map[int]uint64) // word → last applied value
+	for _, e := range h.log.Events() {
+		if e.Kind != trace.EvWriteApply {
+			continue
+		}
+		w, ok := addrOf[e.Addr]
+		if !ok {
+			continue
+		}
+		applied[e.Val]++
+		lastVal[w] = e.Val
+		if _, issued := h.plainVals[e.Val]; !issued {
+			checkOne(vs, "value-provenance", "plain word %d received %#x, which no program wrote", w, e.Val)
+		}
+	}
+	for v, w := range h.plainVals {
+		if n := applied[v]; n != 1 {
+			checkOne(vs, "exactly-once", "plain value %#x (word %d) applied %d times, want exactly 1", v, w, n)
+		}
+	}
+	for w := 0; w < h.sc.PlainWords; w++ {
+		got := h.c.Nodes[home].Mem.ReadWord(plainOff + 8*uint64(w))
+		if want := lastVal[w]; got != want {
+			checkOne(vs, "final-write-wins", "plain word %d holds %#x, last applied write was %#x", w, got, want)
+		}
+	}
+}
+
+// checkAtomics: the counter word must equal the total number of
+// fetch&increments issued cluster-wide (each applied exactly once), and
+// the swap word must hold zero or some issued operand.
+func (h *harness) checkAtomics(vs *[]Violation) {
+	atomOff := h.c.SharedOffset(h.atomVA.va)
+	home := h.atomVA.home
+	total := 0
+	for _, n := range h.incTotals {
+		total += n
+	}
+	if got := h.c.Nodes[home].Mem.ReadWord(atomOff); got != uint64(total) {
+		checkOne(vs, "atomic-exactly-once",
+			"fetch&inc counter holds %d, programs issued %d increments", got, total)
+	}
+	if got := h.c.Nodes[home].Mem.ReadWord(atomOff + 8); got != 0 && !h.fsVals[got] {
+		checkOne(vs, "value-provenance", "swap word holds %#x, which no program issued", got)
+	}
+}
+
+// checkFences: every write a program issued before a FENCE must have
+// reached its global serialization point no later than the moment the
+// FENCE completed — applied at the home node (plain), serialized at the
+// owner (coherent), or applied at every replica (multicast).
+func (h *harness) checkFences(vs *[]Violation) {
+	applyAt := make(map[uint64][]int64) // value → EvWriteApply times
+	serialAt := make(map[uint64]int64)  // value → EvUpdateSerialize time
+	for _, e := range h.log.Events() {
+		switch e.Kind {
+		case trace.EvWriteApply:
+			applyAt[e.Val] = append(applyAt[e.Val], e.At)
+		case trace.EvUpdateSerialize:
+			if _, ok := serialAt[e.Val]; !ok {
+				serialAt[e.Val] = e.At
+			}
+		}
+	}
+	nDests := int64(h.sc.Nodes - 1)
+	for i, ns := range h.perNode {
+		for _, f := range ns.fences {
+			for _, wr := range f.writes {
+				switch wr.region {
+				case regPlain:
+					if !anyAtOrBefore(applyAt[wr.val], f.end) {
+						checkOne(vs, "fence", "node %d fence at %dns: plain write %#x not yet applied", i, f.end, wr.val)
+					}
+				case regCoh:
+					if at, ok := serialAt[wr.val]; !ok || at > f.end {
+						checkOne(vs, "fence", "node %d fence at %dns: coherent write %#x not yet serialized", i, f.end, wr.val)
+					}
+				case regMcast:
+					n := int64(0)
+					for _, at := range applyAt[wr.val] {
+						if at <= f.end {
+							n++
+						}
+					}
+					if n < nDests {
+						checkOne(vs, "fence",
+							"node %d fence at %dns: multicast write %#x applied at %d of %d replicas", i, f.end, wr.val, n, nDests)
+					}
+				}
+			}
+		}
+	}
+}
+
+// anyAtOrBefore reports whether any timestamp is at or before deadline.
+func anyAtOrBefore(times []int64, deadline int64) bool {
+	for _, t := range times {
+		if t <= deadline {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,241 @@
+// Package simtest is a deterministic simulation-test harness in the
+// FoundationDB style: one integer seed expands into a complete chaos
+// scenario — cluster shape, fault plan, and a randomized multi-node
+// workload over the full Telegraphos user-level operation set — and a
+// battery of invariant checkers then walks the final state and the
+// recorded event stream to prove the paper's semantic claims held under
+// that adversarial schedule:
+//
+//   - coherence convergence: after quiescence every replica of the
+//     update-protocol page equals the owner's copy, and the owner's copy
+//     is the last serialized write (§2.3.3);
+//   - per-location coherence: all nodes' applied-value histories embed
+//     in one total write order (internal/consistency);
+//   - fence semantics: every operation issued before a FENCE is globally
+//     serialized/applied no later than the FENCE's completion (§2.3.5);
+//   - counter hygiene: no pending-write counter survives quiescence;
+//   - exactly-once delivery: remote fetch&increment totals equal the
+//     final counter value even with packet drops, duplicates, and
+//     reordering on every link;
+//   - fabric drain: no outstanding operations, unacked ARQ frames, or
+//     queued packets remain after quiescence.
+//
+// Everything — topology, fault dice, workload interleavings — derives
+// from the seed through platform-stable RNG streams (sim.RNG), so the
+// same seed always produces a byte-identical trace hash, and a failing
+// seed is a complete reproducer:
+//
+//	go test ./internal/simtest -run TestSimChaos -seed=N
+package simtest
+
+import (
+	"fmt"
+
+	"telegraphos/internal/addrspace"
+	"telegraphos/internal/coherence"
+	"telegraphos/internal/core"
+	"telegraphos/internal/link"
+	"telegraphos/internal/params"
+	"telegraphos/internal/sim"
+	"telegraphos/internal/trace"
+)
+
+// Options adjusts how a scenario is built.
+type Options struct {
+	// NoFaults disables the link fault plan (clean-network control runs).
+	NoFaults bool
+	// BreakCoherence installs the deliberately broken protocol variant
+	// (coherence.(*Update).BreakSkipReflectTo on a non-owner replica) so
+	// tests can prove the invariant checkers actually catch corruption.
+	BreakCoherence bool
+	// SimBudget caps simulated time (default 10 s — far beyond any
+	// healthy scenario; hitting it is itself an invariant violation).
+	SimBudget sim.Time
+}
+
+// Scenario is the full derived description of one chaos run.
+type Scenario struct {
+	Seed           int64
+	Nodes          int
+	Topology       string
+	ChainPerSwitch int
+	Placement      params.Placement
+	Mode           coherence.CounterMode
+	Faults         *link.FaultPlan
+	OpsPerNode     int
+	Barriers       int
+	CohWords       int // contended words on the replicated page
+	PlainWords     int // words in the plain shared region
+	CopyWords      int // words per remote-copy operation
+	Owner          int // owner of the replicated page
+	Copies         []int
+}
+
+// String renders a one-line scenario summary.
+func (sc *Scenario) String() string {
+	f := "clean"
+	if sc.Faults != nil {
+		f = fmt.Sprintf("drop=%.0f%% dup=%.0f%% reorder=%.0f%% jitter=%v",
+			100*sc.Faults.DropProb, 100*sc.Faults.DupProb, 100*sc.Faults.ReorderProb, sc.Faults.JitterMax)
+	}
+	return fmt.Sprintf("seed=%d nodes=%d topo=%s mode=%v ops=%d barriers=%d [%s]",
+		sc.Seed, sc.Nodes, sc.Topology, sc.Mode, sc.OpsPerNode, sc.Barriers, f)
+}
+
+// ScenarioFor expands seed into its scenario under opts.
+func ScenarioFor(seed int64, opts Options) Scenario {
+	rng := sim.ForkRNG(uint64(seed), "simtest/scenario")
+	sc := Scenario{
+		Seed:           seed,
+		Nodes:          2 + rng.Intn(7), // 2..8
+		ChainPerSwitch: 2,
+		OpsPerNode:     24 + rng.Intn(56),
+		Barriers:       rng.Intn(3),
+		CohWords:       2 + rng.Intn(5),
+		PlainWords:     4 + rng.Intn(12),
+		CopyWords:      16 + rng.Intn(112),
+	}
+	switch {
+	case sc.Nodes == 2 && rng.Bool(0.34):
+		sc.Topology = "pair"
+	case sc.Nodes >= 4 && rng.Bool(0.4):
+		sc.Topology = "chain"
+		sc.ChainPerSwitch = 2 + rng.Intn(2)
+	default:
+		sc.Topology = "star"
+	}
+	if rng.Bool(0.5) {
+		sc.Placement = params.SharedInMain
+	}
+	sc.Mode = coherence.CountersCached
+	if rng.Bool(0.4) {
+		sc.Mode = coherence.CountersInfinite
+	}
+	if !opts.NoFaults {
+		sc.Faults = &link.FaultPlan{
+			Seed:        seed,
+			DropProb:    0.01 + 0.11*rng.Float64(),
+			DupProb:     0.08 * rng.Float64(),
+			ReorderProb: 0.12 * rng.Float64(),
+			JitterMax:   rng.Duration(1500 * sim.Nanosecond),
+		}
+	}
+	// Replica set: the owner plus at least one more node (when there is
+	// one); every other node joins with probability 1/2 and accesses the
+	// owner's copy directly otherwise.
+	sc.Owner = rng.Intn(sc.Nodes)
+	sc.Copies = []int{sc.Owner}
+	for i := 0; i < sc.Nodes; i++ {
+		if i != sc.Owner && rng.Bool(0.5) {
+			sc.Copies = append(sc.Copies, i)
+		}
+	}
+	if len(sc.Copies) == 1 && sc.Nodes > 1 {
+		sc.Copies = append(sc.Copies, (sc.Owner+1)%sc.Nodes)
+	}
+	return sc
+}
+
+// Violation is one invariant failure.
+type Violation struct {
+	// Invariant names the broken property.
+	Invariant string
+	// Detail explains what was observed.
+	Detail string
+}
+
+// String renders "invariant: detail".
+func (v Violation) String() string { return v.Invariant + ": " + v.Detail }
+
+// Result summarizes one chaos run.
+type Result struct {
+	Scenario   Scenario
+	TraceHash  uint64
+	Events     int
+	SimTime    sim.Time
+	FaultStats link.FaultStats
+	Violations []Violation
+}
+
+// Failed reports whether any invariant was violated.
+func (r *Result) Failed() bool { return len(r.Violations) > 0 }
+
+// Reproducer returns the one-line command that replays a seed.
+func Reproducer(seed int64) string {
+	return fmt.Sprintf("go test ./internal/simtest -run TestSimChaos -seed=%d", seed)
+}
+
+// Run expands seed into a scenario, executes it, and checks every
+// invariant. The returned error is reserved for harness-level failures
+// (a process panic); semantic failures land in Result.Violations.
+func Run(seed int64, opts Options) (*Result, error) {
+	sc := ScenarioFor(seed, opts)
+	h := build(sc, opts)
+	res := &Result{Scenario: sc}
+
+	budget := opts.SimBudget
+	if budget <= 0 {
+		budget = 10 * sim.Second
+	}
+	err := h.c.RunUntil(budget)
+	switch {
+	case err != nil:
+		res.Violations = append(res.Violations, Violation{
+			Invariant: "quiescence",
+			Detail:    fmt.Sprintf("engine error: %v", err),
+		})
+	case h.c.Eng.Pending() > 0 || h.c.Eng.Alive() > 0:
+		res.Violations = append(res.Violations, Violation{
+			Invariant: "quiescence",
+			Detail: fmt.Sprintf("still active at the %v budget (%d events pending, %d programs blocked)",
+				budget, h.c.Eng.Pending(), h.c.Eng.Alive()),
+		})
+	default:
+		// Only a quiesced run has meaningful final state to check.
+		res.Violations = append(res.Violations, h.checkInvariants()...)
+	}
+
+	res.TraceHash = h.log.Hash()
+	res.Events = h.log.Len()
+	// RunUntil parks the clock at the deadline once drained; the last
+	// event's timestamp is the scenario's real extent.
+	res.SimTime = h.c.Eng.Now()
+	if evs := h.log.Events(); len(evs) > 0 && err == nil {
+		res.SimTime = sim.Time(evs[len(evs)-1].At)
+	}
+	res.FaultStats = h.c.Net.FaultStats()
+	return res, nil
+}
+
+// harness is one built scenario: cluster, regions, and bookkeeping.
+type harness struct {
+	sc   Scenario
+	opts Options
+	c    *core.Cluster
+	u    *coherence.Update
+	log  *trace.EventLog
+
+	// Region layout (virtual base addresses + home nodes).
+	cohVA   viewVA   // replicated page under the update protocol
+	plainVA viewVA   // plain shared words, stored with unique values
+	atomVA  viewVA   // word 0: fetch&inc counter, word 1: fetch&store target
+	mcVA    viewVA   // multicast (eager-update) page, single writer = home
+	srcVA   viewVA   // remote-copy source, prefilled before the chaos
+	dstVA   []viewVA // per-node remote-copy destination
+
+	// Issue tallies (unique values make cross-node matching exact).
+	perNode   []*nodeState
+	incTotals []int          // fetch&incs issued per node
+	copied    []int          // copies launched per node
+	plainVals map[uint64]int // issued plain-region value → word
+	cohVals   map[uint64]int // issued coherent-page value → word
+	mcVals    map[uint64]int // issued multicast value → word
+	fsVals    map[uint64]bool
+	runtime   []Violation // violations observed while running (provenance)
+}
+
+// viewVA is a shared region's base address plus its home node.
+type viewVA struct {
+	va   addrspace.VAddr
+	home int
+}

@@ -1,0 +1,107 @@
+package simtest
+
+import (
+	"flag"
+	"strings"
+	"testing"
+)
+
+// seedFlag replays one specific scenario: the reproducer printed for any
+// failing seed is `go test ./internal/simtest -run TestSimChaos -seed=N`.
+var seedFlag = flag.Int64("seed", -1, "replay a single chaos seed instead of the sweep")
+
+// chaosSeeds is the tier-1 sweep: 50 seeded scenarios, faults on.
+const chaosSeeds = 50
+
+// runSeed executes one scenario and fails the test on any violation.
+func runSeed(t *testing.T, seed int64, opts Options) *Result {
+	t.Helper()
+	res, err := Run(seed, opts)
+	if err != nil {
+		t.Fatalf("seed %d: harness error: %v", seed, err)
+	}
+	if res.Failed() {
+		var b strings.Builder
+		for _, v := range res.Violations {
+			b.WriteString("\n  ")
+			b.WriteString(v.String())
+		}
+		t.Errorf("seed %d violated %d invariants (%s):%s\n  reproduce: %s",
+			seed, len(res.Violations), res.Scenario.String(), b.String(), Reproducer(seed))
+	}
+	return res
+}
+
+// TestSimChaos sweeps seeded chaos scenarios — random cluster shapes,
+// random workloads, link faults on every scenario — and requires every
+// invariant to hold on each. With -seed=N it replays just that seed.
+func TestSimChaos(t *testing.T) {
+	if *seedFlag >= 0 {
+		res := runSeed(t, *seedFlag, Options{})
+		t.Logf("seed %d: %s", *seedFlag, res.Scenario.String())
+		t.Logf("trace hash %#016x over %d events, %v simulated, faults: %+v",
+			res.TraceHash, res.Events, res.SimTime, res.FaultStats)
+		return
+	}
+	for seed := int64(0); seed < chaosSeeds; seed++ {
+		res := runSeed(t, seed, Options{})
+		if t.Failed() {
+			return
+		}
+		if res.Scenario.Faults != nil && res.FaultStats.Total() == 0 && res.Events > 0 {
+			t.Errorf("seed %d: fault plan active but no faults fired (%s)", seed, res.Scenario.String())
+		}
+	}
+}
+
+// TestSimChaosClean runs a handful of fault-free control scenarios: the
+// invariants must hold on a clean network too.
+func TestSimChaosClean(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		runSeed(t, seed, Options{NoFaults: true})
+	}
+}
+
+// TestSimDeterminism runs the same seeds twice and requires byte-identical
+// trace hashes — the property that makes every failure reproducible.
+func TestSimDeterminism(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		a, err := Run(seed, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		b, err := Run(seed, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if a.TraceHash != b.TraceHash || a.Events != b.Events || a.SimTime != b.SimTime {
+			t.Errorf("seed %d is not deterministic: run1 (hash %#x, %d events, %v) vs run2 (hash %#x, %d events, %v)",
+				seed, a.TraceHash, a.Events, a.SimTime, b.TraceHash, b.Events, b.SimTime)
+		}
+		if a.Events == 0 {
+			t.Errorf("seed %d recorded no events", seed)
+		}
+	}
+}
+
+// TestBrokenCoherenceCaught proves the checkers have teeth: with the
+// deliberately broken protocol variant (reflections silently dropped on
+// one replica) the sweep must report coherence violations.
+func TestBrokenCoherenceCaught(t *testing.T) {
+	caught := 0
+	for seed := int64(0); seed < 10; seed++ {
+		res, err := Run(seed, Options{BreakCoherence: true})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, v := range res.Violations {
+			if strings.HasPrefix(v.Invariant, "coherence") {
+				caught++
+				break
+			}
+		}
+	}
+	if caught < 5 {
+		t.Errorf("broken coherence variant caught on only %d of 10 seeds; the checkers are too weak", caught)
+	}
+}

@@ -29,6 +29,7 @@ type Network struct {
 	eng      *sim.Engine
 	toNet    []*link.Link // per node: node -> fabric
 	fromNet  []*link.Link // per node: fabric -> node
+	links    []*link.Link // every distinct link in the fabric (incl. trunks)
 	Switches []*switchfab.Switch
 	kind     string
 }
@@ -62,6 +63,41 @@ func (n *Network) NodeEgress(i addrspace.NodeID) *link.Link { return n.toNet[i] 
 // NodeIngress exposes node i's delivery link (telemetry).
 func (n *Network) NodeIngress(i addrspace.NodeID) *link.Link { return n.fromNet[i] }
 
+// Links exposes every distinct link of the fabric, trunks included.
+func (n *Network) Links() []*link.Link { return n.links }
+
+// FaultStats aggregates fault-injection and ARQ-recovery counters over
+// every distinct link of the fabric.
+func (n *Network) FaultStats() link.FaultStats {
+	var fs link.FaultStats
+	for _, l := range n.links {
+		fs.Add(l.FaultStats())
+	}
+	return fs
+}
+
+// UnackedFrames reports ARQ frames still awaiting acknowledgement across
+// the whole fabric; a quiesced fabric must report zero.
+func (n *Network) UnackedFrames() int {
+	total := 0
+	for _, l := range n.links {
+		total += l.Unacked()
+	}
+	return total
+}
+
+// QueuedPackets reports delivered-but-unconsumed packets across the whole
+// fabric (all links, both VCs); a quiesced fabric must report zero.
+func (n *Network) QueuedPackets() int {
+	total := 0
+	for _, l := range n.links {
+		for vc := packet.VC(0); vc < packet.NumVCs; vc++ {
+			total += l.Queued(vc)
+		}
+	}
+	return total
+}
+
 // BuildPair connects exactly two nodes back-to-back with one link in each
 // direction and no switch.
 func BuildPair(eng *sim.Engine, lcfg link.Config) *Network {
@@ -71,6 +107,7 @@ func BuildPair(eng *sim.Engine, lcfg link.Config) *Network {
 		eng:     eng,
 		toNet:   []*link.Link{ab, ba},
 		fromNet: []*link.Link{ba, ab},
+		links:   []*link.Link{ab, ba},
 		kind:    "pair",
 	}
 }
@@ -89,6 +126,7 @@ func BuildStar(eng *sim.Engine, nnodes int, lcfg link.Config, scfg switchfab.Con
 		sw.SetRoute(addrspace.NodeID(i), port)
 		n.toNet = append(n.toNet, up)
 		n.fromNet = append(n.fromNet, down)
+		n.links = append(n.links, up, down)
 	}
 	sw.Start()
 	return n
@@ -116,6 +154,7 @@ func BuildChain(eng *sim.Engine, nnodes, perSwitch int, lcfg link.Config, scfg s
 		nodePort[i] = switches[s].AttachPort(up, down)
 		n.toNet = append(n.toNet, up)
 		n.fromNet = append(n.fromNet, down)
+		n.links = append(n.links, up, down)
 	}
 
 	// Trunks between adjacent switches.
@@ -126,6 +165,7 @@ func BuildChain(eng *sim.Engine, nnodes, perSwitch int, lcfg link.Config, scfg s
 		rl := link.New(eng, fmt.Sprintf("sw%d->sw%d", s+1, s), lcfg)
 		rightPort[s] = switches[s].AttachPort(rl, lr)
 		leftPort[s+1] = switches[s+1].AttachPort(lr, rl)
+		n.links = append(n.links, lr, rl)
 	}
 
 	// Deterministic routing: local nodes to their port, everything else

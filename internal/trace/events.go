@@ -1,0 +1,152 @@
+// Event streams: a timestamped record of the simulation's observable
+// memory actions (remote-write applications, atomic applications, owner
+// serializations, reflected-write applications, fences). The simulation
+// test harness (internal/simtest) attaches an EventLog to every HIB and
+// walks the stream to check fence and coherence invariants; the log's
+// Hash gives a canonical fingerprint of an execution, so two runs of the
+// same seed can be compared byte-for-byte.
+package trace
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// EventKind classifies an event.
+type EventKind uint8
+
+// Event kinds.
+const (
+	// EvIssue is a program-level operation issue (recorded by harnesses).
+	EvIssue EventKind = iota + 1
+	// EvWriteApply is a WriteReq applied to a node's memory.
+	EvWriteApply
+	// EvAtomicApply is an AtomicReq applied at its home node.
+	EvAtomicApply
+	// EvCopyApply is one CopyData burst applied at the destination.
+	EvCopyApply
+	// EvUpdateSerialize is an update serialized at a page's owner
+	// (§2.3.1): the moment the write enters the global order.
+	EvUpdateSerialize
+	// EvReflectApply is a reflected write applied at a replica.
+	EvReflectApply
+	// EvFenceStart marks a FENCE beginning to drain (§2.3.5).
+	EvFenceStart
+	// EvFenceEnd marks a FENCE observing zero outstanding operations.
+	EvFenceEnd
+	// EvMsgDeliver is a bulk message payload delivered to its sink.
+	EvMsgDeliver
+)
+
+var kindNames = map[EventKind]string{
+	EvIssue:           "issue",
+	EvWriteApply:      "write-apply",
+	EvAtomicApply:     "atomic-apply",
+	EvCopyApply:       "copy-apply",
+	EvUpdateSerialize: "update-serialize",
+	EvReflectApply:    "reflect-apply",
+	EvFenceStart:      "fence-start",
+	EvFenceEnd:        "fence-end",
+	EvMsgDeliver:      "msg-deliver",
+}
+
+// String names the kind.
+func (k EventKind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("EventKind(%d)", uint8(k))
+}
+
+// Event is one observable simulation action.
+type Event struct {
+	// At is the simulated time in nanoseconds.
+	At int64
+	// Node is the node on which the action happened.
+	Node int
+	// Kind classifies the action.
+	Kind EventKind
+	// Addr is the action's address operand (global address or offset).
+	Addr uint64
+	// Val is the value written / applied (0 where meaningless).
+	Val uint64
+	// Aux carries kind-specific context (e.g. the originating node).
+	Aux uint64
+}
+
+// String renders one event line.
+func (e Event) String() string {
+	return fmt.Sprintf("%dns n%d %s addr=%#x val=%#x aux=%#x", e.At, e.Node, e.Kind, e.Addr, e.Val, e.Aux)
+}
+
+// EventLog accumulates events in simulation order. It must only be used
+// from inside one engine's event/process context (the engine's hand-off
+// discipline already serializes appends).
+type EventLog struct {
+	events []Event
+}
+
+// NewEventLog returns an empty log.
+func NewEventLog() *EventLog { return &EventLog{} }
+
+// Append records one event.
+func (l *EventLog) Append(e Event) { l.events = append(l.events, e) }
+
+// Len reports the number of recorded events.
+func (l *EventLog) Len() int { return len(l.events) }
+
+// Events exposes the recorded stream (callers must not mutate it).
+func (l *EventLog) Events() []Event { return l.events }
+
+// ForNode returns the subsequence of events on one node.
+func (l *EventLog) ForNode(node int) []Event {
+	var out []Event
+	for _, e := range l.events {
+		if e.Node == node {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// CountKind reports the number of events of one kind.
+func (l *EventLog) CountKind(k EventKind) int {
+	n := 0
+	for _, e := range l.events {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// Hash returns the FNV-1a fingerprint of the full stream: every field of
+// every event, in order, in a fixed little-endian encoding. Two runs of
+// the same seed must produce identical hashes (the determinism
+// invariant); any divergence in timing, ordering, or values changes it.
+func (l *EventLog) Hash() uint64 {
+	h := fnv.New64a()
+	var buf [8 * 5]byte
+	for _, e := range l.events {
+		put64(buf[0:], uint64(e.At))
+		put64(buf[8:], uint64(e.Node)<<8|uint64(e.Kind))
+		put64(buf[16:], e.Addr)
+		put64(buf[24:], e.Val)
+		put64(buf[32:], e.Aux)
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// put64 stores v little-endian.
+func put64(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}

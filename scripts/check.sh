@@ -1,0 +1,19 @@
+#!/bin/sh
+# Tier-1 verification: build, vet, test, and race-test everything.
+# CI and pre-commit both run this script; keep it fast and exhaustive.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo '== go build ./...'
+go build ./...
+
+echo '== go vet ./...'
+go vet ./...
+
+echo '== go test ./...'
+go test ./...
+
+echo '== go test -race ./...'
+go test -race ./...
+
+echo 'tier-1: all checks passed'

@@ -33,6 +33,7 @@ import (
 	"telegraphos/internal/coherence"
 	"telegraphos/internal/core"
 	"telegraphos/internal/cpu"
+	"telegraphos/internal/link"
 	"telegraphos/internal/msg"
 	"telegraphos/internal/params"
 	"telegraphos/internal/sim"
@@ -97,6 +98,19 @@ func WithChainPerSwitch(k int) Option { return func(c *Config) { c.ChainPerSwitc
 
 // WithConfig replaces the entire configuration (advanced use).
 func WithConfig(cfg Config) Option { return func(c *Config) { *c = cfg } }
+
+// FaultPlan is a seeded link-fault environment: drops, duplicates,
+// jitter, and reordering on every fabric link, recovered by the
+// link-level retransmission layer so the cluster's memory semantics
+// survive. See link.FaultPlan for the knobs.
+type FaultPlan = link.FaultPlan
+
+// WithFaultPlan installs a fault plan on every link of the fabric. The
+// plan is fully deterministic: the same plan (and cluster seed) always
+// produces the same packet-level schedule.
+func WithFaultPlan(fp FaultPlan) Option {
+	return func(c *Config) { c.Link.Faults = &fp }
+}
 
 // Cluster is a simulated Telegraphos machine. It embeds the assembly
 // layer, so all of core.Cluster's methods (AllocShared, AllocPrivate,
