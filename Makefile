@@ -24,8 +24,11 @@ START ?= 0
 chaos:
 	$(GO) run ./cmd/tgchaos -seeds $(SEEDS) -start $(START)
 
+# Full evaluation: the paper experiments, then the PDES node×shard
+# scaling sweep (writes BENCH_pdes.json; see EXPERIMENTS.md).
 bench:
 	$(GO) run ./cmd/tgbench
+	$(GO) run ./cmd/tgbench -pdes -out BENCH_pdes.json
 
 # Short fuzz pass over the wire-format and address-space targets.
 fuzz:

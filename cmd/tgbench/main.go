@@ -5,10 +5,12 @@
 //
 // Usage:
 //
-//	tgbench            # run everything
-//	tgbench -exp E1    # run one experiment
-//	tgbench -json      # machine-readable results
-//	tgbench -list      # list experiment ids and titles
+//	tgbench                          # run everything
+//	tgbench -exp E1                  # run one experiment
+//	tgbench -json                    # machine-readable results
+//	tgbench -list                    # list experiment ids and titles
+//	tgbench -shards 4                # run the suite on 4 simulation shards
+//	tgbench -pdes -out BENCH.json    # PDES node×shard scaling sweep
 package main
 
 import (
@@ -24,9 +26,39 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	asJSON := flag.Bool("json", false, "emit results as JSON")
 	seed := flag.Int64("seed", 1, "deterministic base seed (same seed → bit-identical output)")
+	shards := flag.Int("shards", 1, "simulation shards (results are invariant to this; only wall time changes)")
+	pdes := flag.Bool("pdes", false, "run the PDES node×shard scaling sweep instead of the experiments")
+	out := flag.String("out", "", "with -pdes: also write the sweep report as JSON to this file")
 	flag.Parse()
 
 	experiments.SetSeed(*seed)
+	experiments.SetShards(*shards)
+
+	if *pdes {
+		rep := experiments.PDESSweep(
+			[]int{8, 16, 32, 64},
+			[]int{1, 2, 4, 8},
+			experiments.PDESOps,
+		)
+		fmt.Print(experiments.FormatPDES(rep))
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tgbench: %v\n", err)
+				os.Exit(1)
+			}
+			if err := experiments.WritePDESJSON(f, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "tgbench: %v\n", err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "tgbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *out)
+		}
+		return
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {

@@ -11,6 +11,7 @@
 //	tgchaos -seed 17 -v        # replay one seed, verbose
 //	tgchaos -clean             # fault-free control sweep
 //	tgchaos -broken            # sanity: the broken protocol must be caught
+//	tgchaos -shards 2          # sharded engine (hashes match -shards 1)
 //
 // Exit status 1 if any scenario violated an invariant.
 package main
@@ -31,6 +32,7 @@ func main() {
 	broken := flag.Bool("broken", false, "run the deliberately broken coherence variant (violations expected)")
 	stop := flag.Bool("stop-on-fail", false, "stop at the first failing seed")
 	verbose := flag.Bool("v", false, "print every scenario, not just failures")
+	shards := flag.Int("shards", 1, "simulation shards (trace hashes are invariant to this)")
 	flag.Parse()
 
 	lo, hi := *start, *start+*seeds
@@ -41,7 +43,7 @@ func main() {
 
 	failures := 0
 	for seed := lo; seed < hi; seed++ {
-		res, err := simtest.Run(seed, simtest.Options{NoFaults: *clean, BreakCoherence: *broken})
+		res, err := simtest.Run(seed, simtest.Options{NoFaults: *clean, BreakCoherence: *broken, Shards: *shards})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tgchaos: seed %d: %v\n", seed, err)
 			os.Exit(1)

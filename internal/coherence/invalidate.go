@@ -39,7 +39,13 @@ type invDir struct {
 }
 
 // NewInvalidate attaches the invalidate protocol to every node of c.
+// The protocol models the directory as centralized hardware state that
+// every node manipulates directly (a deliberate shortcut — it is only a
+// baseline), so it requires a single-shard cluster.
 func NewInvalidate(c *core.Cluster) *Invalidate {
+	if c.Group.Shards() > 1 {
+		panic("coherence: the invalidate baseline's centralized directory requires Shards <= 1")
+	}
 	iv := &Invalidate{c: c, dirs: make(map[addrspace.PageNum]*invDir)}
 	for _, n := range c.Nodes {
 		m := &InvalidateMgr{

@@ -83,7 +83,7 @@ func NewUpdate(c *core.Cluster, mode CounterMode) *Update {
 			node:     n.ID,
 			h:        n.HIB,
 			pages:    make(map[addrspace.PageNum]*upage),
-			cache:    NewCounterCache(c.Eng, capacity),
+			cache:    NewCounterCache(n.Eng, capacity),
 			Counters: stats.NewCounterSet(),
 			log:      make(map[uint64][]Applied),
 		}
@@ -194,7 +194,10 @@ func (m *UpdateMgr) AppliedEvents(offset uint64) []Applied {
 
 func (m *UpdateMgr) record(offset uint64, v uint64) {
 	if m.watched != nil && m.watched[offset] {
-		m.log[offset] = append(m.log[offset], Applied{At: m.u.c.Eng.Now(), Val: v})
+		// Stamp with this node's shard clock: record runs in the node's
+		// own execution context, which may not be shard 0's.
+		at := m.u.c.Nodes[m.node].Eng.Now()
+		m.log[offset] = append(m.log[offset], Applied{At: at, Val: v})
 	}
 }
 

@@ -38,6 +38,7 @@ const (
 // Node bundles one workstation's components.
 type Node struct {
 	ID  addrspace.NodeID
+	Eng *sim.Engine // the shard this node's components run on
 	CPU *cpu.CPU
 	HIB *hib.HIB
 	OS  *osmodel.OS
@@ -48,7 +49,8 @@ type Node struct {
 
 // Cluster is a built Telegraphos machine.
 type Cluster struct {
-	Eng   *sim.Engine
+	Eng   *sim.Engine // shard 0 (the only shard when cfg.Shards <= 1)
+	Group *sim.Group
 	Cfg   params.Config
 	Net   *topology.Network
 	Nodes []*Node
@@ -58,26 +60,49 @@ type Cluster struct {
 	sharedHome map[addrspace.PageNum]addrspace.NodeID // home of each shared page
 }
 
-// New builds a cluster from cfg.
+// New builds a cluster from cfg. With cfg.Shards > 1 the nodes are
+// partitioned into contiguous blocks, one simulation shard each; every
+// cross-node effect already travels through links, so the cluster's
+// behavior — traces, timings, experiment results — is identical for any
+// shard count.
 func New(cfg params.Config) *Cluster {
-	eng := sim.NewEngine(cfg.Seed)
+	shards := cfg.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > cfg.Nodes {
+		shards = cfg.Nodes
+	}
+	g := sim.NewGroup(cfg.Seed, shards)
+	nodeEng := func(i int) *sim.Engine { return g.Shard(i * shards / cfg.Nodes) }
+	// A switch runs on the shard of its first attached node (the star's
+	// single switch lands on shard 0).
+	swEng := func(s int) *sim.Engine {
+		if cfg.Topology == "chain" {
+			return nodeEng(s * cfg.ChainPerSwitch)
+		}
+		return g.Shard(0)
+	}
+	assign := topology.Assign{Node: nodeEng, Switch: swEng}
+
 	var net *topology.Network
 	switch cfg.Topology {
 	case "pair":
 		if cfg.Nodes != 2 {
 			panic("core: pair topology requires exactly 2 nodes")
 		}
-		net = topology.BuildPair(eng, cfg.Link)
+		net = topology.BuildPairOn(assign, cfg.Link)
 	case "star", "":
-		net = topology.BuildStar(eng, cfg.Nodes, cfg.Link, cfg.Switch)
+		net = topology.BuildStarOn(assign, cfg.Nodes, cfg.Link, cfg.Switch)
 	case "chain":
-		net = topology.BuildChain(eng, cfg.Nodes, cfg.ChainPerSwitch, cfg.Link, cfg.Switch)
+		net = topology.BuildChainOn(assign, cfg.Nodes, cfg.ChainPerSwitch, cfg.Link, cfg.Switch)
 	default:
 		panic(fmt.Sprintf("core: unknown topology %q", cfg.Topology))
 	}
 
 	c := &Cluster{
-		Eng:        eng,
+		Eng:        g.Shard(0),
+		Group:      g,
 		Cfg:        cfg,
 		Net:        net,
 		privNext:   make([]uint64, cfg.Nodes),
@@ -85,6 +110,7 @@ func New(cfg params.Config) *Cluster {
 	}
 	for i := 0; i < cfg.Nodes; i++ {
 		id := addrspace.NodeID(i)
+		eng := nodeEng(i)
 		m := mem.New(cfg.Sizing.MemBytes, cfg.Sizing.PageSize)
 		nodeOS := osmodel.New(eng, id, cfg.Timing)
 		bus := tchan.New(eng)
@@ -98,7 +124,7 @@ func New(cfg params.Config) *Cluster {
 			panic(err)
 		}
 		pr.CtxID, pr.Key = ctxID, key
-		c.Nodes = append(c.Nodes, &Node{ID: id, CPU: pr, HIB: h, OS: nodeOS, MMU: mm, Mem: m, Bus: bus})
+		c.Nodes = append(c.Nodes, &Node{ID: id, Eng: eng, CPU: pr, HIB: h, OS: nodeOS, MMU: mm, Mem: m, Bus: bus})
 		c.privNext[i] = uint64(cfg.Sizing.MemBytes) / 2
 	}
 	return c
@@ -110,11 +136,14 @@ func (c *Cluster) N() int { return len(c.Nodes) }
 // PageSize reports the configured page size.
 func (c *Cluster) PageSize() int { return c.Cfg.Sizing.PageSize }
 
+// EngineOf reports the shard engine node i's components run on.
+func (c *Cluster) EngineOf(i int) *sim.Engine { return c.Nodes[i].Eng }
+
 // Run drives the simulation to completion.
-func (c *Cluster) Run() error { return c.Eng.Run() }
+func (c *Cluster) Run() error { return c.Group.Run() }
 
 // RunUntil drives the simulation to the deadline.
-func (c *Cluster) RunUntil(t sim.Time) error { return c.Eng.RunUntil(t) }
+func (c *Cluster) RunUntil(t sim.Time) error { return c.Group.RunUntil(t) }
 
 // Spawn starts prog on node's CPU.
 func (c *Cluster) Spawn(node int, name string, prog func(*cpu.Ctx)) *sim.Proc {

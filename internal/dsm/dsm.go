@@ -46,8 +46,21 @@ type DSM struct {
 	dirs map[addrspace.PageNum]*dir
 	node []*nodeState
 
-	// Counters aggregates cluster-wide protocol events.
-	Counters *stats.CounterSet
+	// counters holds per-node protocol telemetry; each node's handlers
+	// touch only their own set, so sharded clusters stay race-free.
+	counters []*stats.CounterSet
+}
+
+// Counters merges every node's protocol counters (telemetry; call when
+// the simulation is quiescent).
+func (d *DSM) Counters() *stats.CounterSet {
+	total := stats.NewCounterSet()
+	for _, cs := range d.counters {
+		for _, name := range cs.Names() {
+			total.Add(name, cs.Get(name))
+		}
+	}
+	return total
 }
 
 // dir is the manager's directory entry for one page.
@@ -69,11 +82,11 @@ func New(c *core.Cluster, sys *msg.System) *DSM {
 	d := &DSM{
 		c:        c,
 		sys:      sys,
-		dirs:     make(map[addrspace.PageNum]*dir),
-		Counters: stats.NewCounterSet(),
+		dirs: make(map[addrspace.PageNum]*dir),
 	}
 	for i, n := range c.Nodes {
 		d.node = append(d.node, &nodeState{mapped: make(map[addrspace.PageNum]int)})
+		d.counters = append(d.counters, stats.NewCounterSet())
 		i := i
 		n.OS.SetFaultHandler(func(p *sim.Proc, f *mmu.Fault) bool {
 			return d.handleFault(p, i, f)
@@ -93,7 +106,9 @@ func (d *DSM) SharePage(va addrspace.VAddr) {
 	off := d.c.SharedOffset(va) / uint64(ps) * uint64(ps)
 	pn := addrspace.PageOf(off, ps)
 	home := d.c.HomeOf(off)
-	d.dirs[pn] = &dir{mu: sim.NewMutex(d.c.Eng), owner: home}
+	// The directory lock is only taken by the manager (home) node's
+	// handlers, so it lives on the home node's shard engine.
+	d.dirs[pn] = &dir{mu: sim.NewMutex(d.c.EngineOf(int(home))), owner: home}
 	for i := range d.c.Nodes {
 		if addrspace.NodeID(i) == home {
 			d.mapPage(i, pn, 2)
@@ -145,11 +160,11 @@ func (d *DSM) handleFault(p *sim.Proc, i int, f *mmu.Fault) bool {
 	st := d.node[i].mapped[pn]
 	switch {
 	case f.Access == mmu.AccessRead && st == 0:
-		d.Counters.Inc("read-faults")
+		d.counters[i].Inc("read-faults")
 		content := d.sys.Call(p, addrspace.NodeID(i), home, Port, []uint64{opRead, uint64(pn)})
 		d.installPage(p, i, pn, content, 1)
 	case f.Access == mmu.AccessWrite:
-		d.Counters.Inc("write-faults")
+		d.counters[i].Inc("write-faults")
 		has := uint64(0)
 		if st == 1 {
 			has = 1
@@ -190,13 +205,13 @@ func (d *DSM) serve(p *sim.Proc, me, src addrspace.NodeID, req []uint64) []uint6
 		return d.manageWrite(p, me, src, pn, len(req) > 2 && req[2] == 1)
 	case opFetch:
 		// Downgrade to read-only and return our (current) content.
-		d.Counters.Inc("fetches")
+		d.counters[me].Inc("fetches")
 		d.mapPage(int(me), pn, 1)
 		content := d.c.Nodes[me].Mem.ReadPage(pn)
 		d.c.Nodes[me].OS.CopyWords(p, len(content))
 		return content
 	case opInv:
-		d.Counters.Inc("invalidations")
+		d.counters[me].Inc("invalidations")
 		d.unmapPage(int(me), pn)
 		return nil
 	default:
@@ -252,7 +267,7 @@ func (d *DSM) manageWrite(p *sim.Proc, me, src addrspace.NodeID, pn addrspace.Pa
 		seen[h] = true
 		if h == me {
 			d.unmapPage(int(me), pn)
-			d.Counters.Inc("invalidations")
+			d.counters[me].Inc("invalidations")
 			continue
 		}
 		d.sys.Call(p, me, h, Port, []uint64{opInv, uint64(pn)})
@@ -273,5 +288,5 @@ func contains(s []addrspace.NodeID, n addrspace.NodeID) bool {
 
 // String summarizes protocol activity.
 func (d *DSM) String() string {
-	return fmt.Sprintf("dsm: %s", d.Counters)
+	return fmt.Sprintf("dsm: %s", d.Counters())
 }

@@ -31,8 +31,8 @@ func TestReadFaultFetchesPage(t *testing.T) {
 	if got != 77 {
 		t.Fatalf("DSM read = %d, want 77", got)
 	}
-	if d.Counters.Get("read-faults") != 1 {
-		t.Fatalf("read faults = %d, want 1", d.Counters.Get("read-faults"))
+	if d.Counters().Get("read-faults") != 1 {
+		t.Fatalf("read faults = %d, want 1", d.Counters().Get("read-faults"))
 	}
 }
 
@@ -72,12 +72,12 @@ func TestWriteFaultInvalidatesReaders(t *testing.T) {
 	if err := c.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if d.Counters.Get("invalidations") == 0 {
+	if d.Counters().Get("invalidations") == 0 {
 		t.Fatal("write fault did not invalidate readers")
 	}
 	// Node 2 rereads: must fault again and see 42.
 	var got uint64
-	before := d.Counters.Get("read-faults")
+	before := d.Counters().Get("read-faults")
 	c.Spawn(2, "r2again", func(ctx *cpu.Ctx) { got = ctx.Load(x) })
 	if err := c.Run(); err != nil {
 		t.Fatal(err)
@@ -85,7 +85,7 @@ func TestWriteFaultInvalidatesReaders(t *testing.T) {
 	if got != 42 {
 		t.Fatalf("reader saw %d after writer, want 42", got)
 	}
-	if d.Counters.Get("read-faults") != before+1 {
+	if d.Counters().Get("read-faults") != before+1 {
 		t.Fatal("reread did not fault (stale mapping survived invalidation)")
 	}
 }
@@ -107,8 +107,8 @@ func TestWriteUpgradeFromReadCopy(t *testing.T) {
 	if err := c.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if d.Counters.Get("write-faults") != 1 {
-		t.Fatalf("write faults = %d", d.Counters.Get("write-faults"))
+	if d.Counters().Get("write-faults") != 1 {
+		t.Fatalf("write faults = %d", d.Counters().Get("write-faults"))
 	}
 }
 

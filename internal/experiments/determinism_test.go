@@ -41,6 +41,33 @@ func TestExperimentsDeterministic(t *testing.T) {
 	}
 }
 
+// TestExperimentsShardInvariant runs the full pipeline on 1 and 4
+// simulation shards and requires bit-identical serialized results: the
+// sharded engine may only change wall-clock time, never a measurement.
+// Run it with -cpu 1,4 (scripts/check.sh does) to also prove the results
+// do not depend on how many OS threads the shard workers share.
+func TestExperimentsShardInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full experiment suite twice")
+	}
+	run := func(shards int) []byte {
+		SetShards(shards)
+		defer SetShards(1)
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, RunAll()); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		return buf.Bytes()
+	}
+	SetSeed(1)
+	seq := run(1)
+	par := run(4)
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("shards=4 diverges from shards=1:\nshards=1: %d bytes\nshards=4: %d bytes\nfirst divergence at byte %d",
+			len(seq), len(par), firstDiff(seq, par))
+	}
+}
+
 // firstDiff returns the index of the first differing byte.
 func firstDiff(a, b []byte) int {
 	n := min(len(a), len(b))

@@ -17,6 +17,7 @@ func lightCluster(n int) *core.Cluster {
 	cfg := params.Default(n)
 	cfg.Seed = baseSeed
 	cfg.Sizing.MemBytes = 1 << 21
+	cfg.Shards = shardCount
 	return core.New(cfg)
 }
 

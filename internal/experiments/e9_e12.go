@@ -26,6 +26,7 @@ func lightClusterWithCAM(n, cam int) *core.Cluster {
 	cfg.Seed = baseSeed
 	cfg.Sizing.MemBytes = 1 << 21
 	cfg.Sizing.CounterCacheSize = cam
+	cfg.Shards = shardCount
 	return core.New(cfg)
 }
 
@@ -127,6 +128,7 @@ func E10RemotePaging() *Result {
 			cfg.Seed = baseSeed
 			cfg.Sizing.MemBytes = 1 << 21
 			cfg.Sizing.PageSize = 4096
+			cfg.Shards = shardCount
 			c := core.New(cfg)
 			res, err := paging.Run(c, 0, paging.Config{LocalFrames: frames, Backend: b, Server: 1}, refs)
 			if err != nil {
@@ -216,6 +218,7 @@ func E11Substrates() *Result {
 		cfg.Seed = baseSeed
 		cfg.Sizing.MemBytes = 1 << 21
 		cfg.Placement = params.SharedInMain
+		cfg.Shards = shardCount
 		c := core.New(cfg)
 		ch := msg.NewChannel(c, 1, 2*words)
 		c.Spawn(0, "p", func(ctx *cpu.Ctx) {
@@ -297,7 +300,16 @@ func E12UpdateVsInvalidate() *Result {
 	const pcWords, migWords, iters = 64, 512, 4
 
 	run := func(proto string, words int, kernel func(m workload.Mem) uint64) sim.Time {
-		c := lightCluster(n)
+		cfg := params.Default(n)
+		cfg.Seed = baseSeed
+		cfg.Sizing.MemBytes = 1 << 21
+		cfg.Shards = shardCount
+		if proto != "update" {
+			// The invalidate baseline models its directory as centralized
+			// hardware state, which only a single-shard cluster can host.
+			cfg.Shards = 1
+		}
+		c := core.New(cfg)
 		base := func() addrspace.VAddr {
 			b := c.AllocShared(0, 8*words)
 			switch proto {

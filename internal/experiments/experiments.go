@@ -26,6 +26,22 @@ func SetSeed(s int64) { baseSeed = s }
 // Seed reports the experiments' current base seed.
 func Seed() int64 { return baseSeed }
 
+// shardCount is the number of simulation shards every experiment cluster
+// runs on. Results are bit-identical for any value (clusters clamp it to
+// their node count); it only changes wall-clock time.
+var shardCount = 1
+
+// SetShards overrides the shard count used by every experiment cluster.
+func SetShards(n int) {
+	if n < 1 {
+		n = 1
+	}
+	shardCount = n
+}
+
+// Shards reports the experiments' current shard count.
+func Shards() int { return shardCount }
+
 // Row is one paper-vs-measured comparison line.
 type Row struct {
 	Name     string

@@ -77,11 +77,16 @@ type frame struct {
 	pkt *packet.Packet
 }
 
-// injector is the per-link fault + ARQ state. All of it runs in engine
-// event context under the engine's single-threaded discipline.
+// injector is the per-link fault + ARQ state, split along the wire: the
+// sender half (sequence assignment, fault draws, retransmission timers)
+// runs on the link's sender engine, the receiver half (dedup, reorder
+// buffer, cumulative acks) on its receiver engine. Frames cross on the
+// link's forward channel and acks return on the reverse channel, so the
+// two halves never touch each other's state directly and the link may
+// span two shards.
 type injector struct {
 	l       *Link
-	rng     *sim.RNG
+	rng     *sim.RNG // sender-side: all fault draws happen at transmit
 	plan    FaultPlan
 	timeout sim.Time
 
@@ -96,7 +101,8 @@ type injector struct {
 	expect [packet.NumVCs]uint64
 	held   [packet.NumVCs]map[uint64]*packet.Packet
 
-	stats FaultStats
+	sstats FaultStats // sender-side counters (drops, dups, reorders, retransmits)
+	rstats FaultStats // receiver-side counters (dedup, reorder buffering)
 }
 
 // newInjector builds the ARQ state for l under plan.
@@ -136,23 +142,25 @@ func (inj *injector) send(vc packet.VC, pkt *packet.Packet) {
 }
 
 // transmit pushes one frame attempt through the faulty channel and arms
-// the retransmission timer.
+// the retransmission timer. It runs on the sender engine; deliveries
+// cross to the receiver on the link's forward channel (whose minimum
+// delay, the propagation delay, bounds every jittered arrival below).
 func (inj *injector) transmit(vc packet.VC, f frame) {
 	delay := inj.l.cfg.PropDelay + inj.rng.Duration(inj.plan.JitterMax)
 	switch {
 	case inj.rng.Bool(inj.plan.DropProb):
-		inj.stats.Dropped++
+		inj.sstats.Dropped++
 		// The frame vanishes; only the retry timer will resurrect it.
 	case inj.rng.Bool(inj.plan.DupProb):
-		inj.stats.Duplicated++
-		inj.l.eng.Schedule(delay, func() { inj.arrive(vc, f) })
+		inj.sstats.Duplicated++
+		inj.l.fwd.Send(delay, func() { inj.arrive(vc, f) })
 		extra := delay + inj.rng.Duration(inj.plan.JitterMax) + sim.Microsecond
-		inj.l.eng.Schedule(extra, func() { inj.arrive(vc, f) })
+		inj.l.fwd.Send(extra, func() { inj.arrive(vc, f) })
 	case inj.rng.Bool(inj.plan.ReorderProb):
-		inj.stats.Reordered++
-		inj.l.eng.Schedule(delay+inj.plan.ReorderDelay, func() { inj.arrive(vc, f) })
+		inj.sstats.Reordered++
+		inj.l.fwd.Send(delay+inj.plan.ReorderDelay, func() { inj.arrive(vc, f) })
 	default:
-		inj.l.eng.Schedule(delay, func() { inj.arrive(vc, f) })
+		inj.l.fwd.Send(delay, func() { inj.arrive(vc, f) })
 	}
 	inj.armTimer(vc, f)
 }
@@ -166,21 +174,22 @@ func (inj *injector) armTimer(vc packet.VC, f frame) {
 		if _, live := inj.sent[vc][f.seq]; !live {
 			return // acked while the timer event was in flight
 		}
-		inj.stats.Retransmits++
+		inj.sstats.Retransmits++
 		inj.transmit(vc, f)
 	})
 }
 
 // arrive is the receiver side: deduplicate, restore order, deliver, ack.
+// It runs on the receiver engine as a forward-channel message.
 func (inj *injector) arrive(vc packet.VC, f frame) {
 	switch {
 	case f.seq < inj.expect[vc]:
-		inj.stats.Deduped++ // already delivered: a wire dup or a spurious retransmit
+		inj.rstats.Deduped++ // already delivered: a wire dup or a spurious retransmit
 	case f.seq > inj.expect[vc]:
 		if _, dup := inj.held[vc][f.seq]; dup {
-			inj.stats.Deduped++
+			inj.rstats.Deduped++
 		} else {
-			inj.stats.Buffered++
+			inj.rstats.Buffered++
 			inj.held[vc][f.seq] = f.pkt
 		}
 	default:
@@ -199,7 +208,7 @@ func (inj *injector) arrive(vc packet.VC, f frame) {
 	// Cumulative acknowledgement travels the reverse control channel,
 	// modeled as a reliable signal with the link's propagation delay.
 	upTo := inj.expect[vc]
-	inj.l.eng.Schedule(inj.l.cfg.PropDelay, func() { inj.ack(vc, upTo) })
+	inj.l.rev.Send(inj.l.cfg.PropDelay, func() { inj.ack(vc, upTo) })
 }
 
 // deliver hands an in-order, exactly-once packet to the link's arrived

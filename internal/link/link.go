@@ -7,6 +7,13 @@
 // exactly that external contract. Each link carries packet.NumVCs virtual
 // channels; requests and replies travel on different VCs so that
 // request-reply dependency cycles cannot deadlock the fabric.
+//
+// A link's two endpoints may live on different simulation shards: the
+// sender half (credits, wire, ARQ sender) runs on the sending engine, the
+// receiver half (arrival queues, ARQ receiver) on the receiving engine,
+// and everything that crosses the wire — packets, credits, ARQ acks —
+// travels over sim.Chans whose minimum delay is the propagation delay.
+// That physical latency is exactly the lookahead the sharded engine uses.
 package link
 
 import (
@@ -42,34 +49,47 @@ func DefaultConfig() Config {
 
 // Link is a unidirectional, lossless, in-order link. Senders call Send
 // (blocking for a credit and for wire time); the receiving element drains
-// it with Recv, which returns the consumed buffer's credit to the sender.
+// it with Recv, which returns the consumed buffer's credit to the sender
+// one propagation delay later over the reverse control channel.
 type Link struct {
 	name    string
-	eng     *sim.Engine
+	eng     *sim.Engine // sender-side engine
+	reng    *sim.Engine // receiver-side engine
 	cfg     Config
 	wire    *sim.Mutex
+	fwd     *sim.Chan // sender -> receiver: packets / ARQ frames
+	rev     *sim.Chan // receiver -> sender: credits / ARQ acks
 	credits [packet.NumVCs]*sim.Semaphore
 	arrived [packet.NumVCs]*sim.Queue[*packet.Packet]
 	inj     *injector // nil on a fault-free link
 
-	// Telemetry.
+	// Telemetry (sender side).
 	sentPackets int64
 	sentWords   int64
 	busy        sim.Time
 }
 
-// New returns an idle link.
+// New returns an idle link with both endpoints on eng.
 func New(eng *sim.Engine, name string, cfg Config) *Link {
+	return NewCross(eng, eng, name, cfg)
+}
+
+// NewCross returns an idle link whose sender runs on snd and whose
+// receiver runs on rcv (which may be the same engine, or two shards of
+// one sim.Group).
+func NewCross(snd, rcv *sim.Engine, name string, cfg Config) *Link {
 	if cfg.BufPackets <= 0 {
 		cfg.BufPackets = 1
 	}
 	if cfg.WordTime <= 0 {
 		cfg.WordTime = 1
 	}
-	l := &Link{name: name, eng: eng, cfg: cfg, wire: sim.NewMutex(eng)}
+	l := &Link{name: name, eng: snd, reng: rcv, cfg: cfg, wire: sim.NewMutex(snd)}
+	l.fwd = sim.NewChan(snd, rcv, cfg.PropDelay)
+	l.rev = sim.NewChan(rcv, snd, cfg.PropDelay)
 	for vc := 0; vc < packet.NumVCs; vc++ {
-		l.credits[vc] = sim.NewSemaphore(eng, cfg.BufPackets)
-		l.arrived[vc] = sim.NewQueue[*packet.Packet](eng, 0)
+		l.credits[vc] = sim.NewSemaphore(snd, cfg.BufPackets)
+		l.arrived[vc] = sim.NewQueue[*packet.Packet](rcv, 0)
 	}
 	if cfg.Faults.Active() {
 		l.inj = newInjector(l, *cfg.Faults)
@@ -95,6 +115,7 @@ func (l *Link) transferTime(pkt *packet.Packet) sim.Time {
 // PropDelay later. Per VC, packets arrive in exactly the order sent —
 // on a faulty link the ARQ sublayer restores that order and delivers
 // exactly once despite drops, duplicates, and reordering on the wire.
+// The calling process must run on the link's sender engine.
 func (l *Link) Send(p *sim.Proc, pkt *packet.Packet) {
 	vc := pkt.Class()
 	l.credits[vc].Acquire(p) // back-pressure: wait for far-end buffer space
@@ -109,24 +130,27 @@ func (l *Link) Send(p *sim.Proc, pkt *packet.Packet) {
 		l.inj.send(vc, pkt)
 		return
 	}
-	l.eng.Schedule(l.cfg.PropDelay, func() {
+	l.fwd.Send(l.cfg.PropDelay, func() {
 		l.arrived[vc].TryPut(pkt) // unbounded queue: credits already bound it
 	})
 }
 
 // Recv removes the next arrived packet on vc, blocking the calling process
-// while none is available, and returns the buffer credit to the sender.
+// while none is available, and returns the buffer credit to the sender
+// over the reverse channel. The calling process must run on the link's
+// receiver engine.
 func (l *Link) Recv(p *sim.Proc, vc packet.VC) *packet.Packet {
 	pkt := l.arrived[vc].Get(p)
-	l.credits[vc].Release()
+	l.rev.Send(l.cfg.PropDelay, l.credits[vc].Release)
 	return pkt
 }
 
-// TryRecv removes an arrived packet on vc without blocking.
+// TryRecv removes an arrived packet on vc without blocking. It must be
+// called from the receiver engine's context.
 func (l *Link) TryRecv(vc packet.VC) (*packet.Packet, bool) {
 	pkt, ok := l.arrived[vc].TryGet()
 	if ok {
-		l.credits[vc].Release()
+		l.rev.Send(l.cfg.PropDelay, l.credits[vc].Release)
 	}
 	return pkt, ok
 }
@@ -153,12 +177,15 @@ func (l *Link) Utilization() float64 {
 }
 
 // FaultStats reports the link's injected-fault and recovery counters
-// (all zero on a fault-free link).
+// (all zero on a fault-free link). Call it only when the simulation is
+// quiescent: it merges the sender- and receiver-side counters.
 func (l *Link) FaultStats() FaultStats {
 	if l.inj == nil {
 		return FaultStats{}
 	}
-	return l.inj.stats
+	s := l.inj.sstats
+	s.Add(l.inj.rstats)
+	return s
 }
 
 // Unacked reports ARQ frames still awaiting acknowledgement; after the

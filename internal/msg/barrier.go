@@ -37,7 +37,7 @@ func NewRPCBarrier(s *System, host addrspace.NodeID, n int) *RPCBarrier {
 			b.waiters = nil
 			return nil
 		}
-		w := sim.NewCompletion(s.c.Eng)
+		w := sim.NewCompletion(s.c.EngineOf(int(host)))
 		b.waiters = append(b.waiters, w)
 		w.Wait(p)
 		return nil

@@ -22,17 +22,13 @@ import (
 	"telegraphos/internal/sim"
 )
 
-// portKey addresses a mailbox.
-type portKey struct {
-	node addrspace.NodeID
-	port uint64
-}
-
-// System is the OS-mediated messaging layer.
+// System is the OS-mediated messaging layer. All per-node state —
+// mailboxes, reply-port counters, kernel daemons — lives on that node's
+// own shard engine, so the layer works unchanged on sharded clusters.
 type System struct {
 	c           *core.Cluster
-	boxes       map[portKey]*sim.Queue[[]uint64]
-	nextReply   uint64
+	boxes       []map[uint64]*sim.Queue[[]uint64] // per node: port -> mailbox
+	nextReply   []uint64                          // per node: RPC reply-port counter
 	nextBarrier uint64
 }
 
@@ -41,7 +37,14 @@ const replyPortBase = uint64(1) << 32
 
 // NewSystem installs OS-mediated messaging on every node of c.
 func NewSystem(c *core.Cluster) *System {
-	s := &System{c: c, boxes: make(map[portKey]*sim.Queue[[]uint64])}
+	s := &System{
+		c:         c,
+		boxes:     make([]map[uint64]*sim.Queue[[]uint64], c.N()),
+		nextReply: make([]uint64, c.N()),
+	}
+	for i := range s.boxes {
+		s.boxes[i] = make(map[uint64]*sim.Queue[[]uint64])
+	}
 	for _, n := range c.Nodes {
 		n := n
 		n.HIB.SetMsgSink(func(p *sim.Proc, pkt *packet.Packet) {
@@ -49,7 +52,7 @@ func NewSystem(c *core.Cluster) *System {
 			// copies it into the destination mailbox.
 			data := append([]uint64(nil), pkt.Data...)
 			port := pkt.ReqID
-			s.c.Eng.SpawnDaemon(fmt.Sprintf("%v.msgintr", n.ID), func(kp *sim.Proc) {
+			n.Eng.SpawnDaemon(fmt.Sprintf("%v.msgintr", n.ID), func(kp *sim.Proc) {
 				t := n.OS.Timing()
 				kp.Sleep(t.Interrupt)
 				n.OS.CopyWords(kp, len(data))
@@ -60,12 +63,13 @@ func NewSystem(c *core.Cluster) *System {
 	return s
 }
 
+// box returns (creating on first use) node's mailbox for port. It must
+// only be called from node's own shard context.
 func (s *System) box(node addrspace.NodeID, port uint64) *sim.Queue[[]uint64] {
-	k := portKey{node, port}
-	q, ok := s.boxes[k]
+	q, ok := s.boxes[node][port]
 	if !ok {
-		q = sim.NewQueue[[]uint64](s.c.Eng, 0)
-		s.boxes[k] = q
+		q = sim.NewQueue[[]uint64](s.c.EngineOf(int(node)), 0)
+		s.boxes[node][port] = q
 	}
 	return q
 }
@@ -113,8 +117,8 @@ func (s *System) RecvP(p *sim.Proc, node addrspace.NodeID, port uint64) []uint64
 // reply. The request is prefixed with [replyPort, srcNode]; servers built
 // with Serve strip the prefix and route the reply automatically.
 func (s *System) Call(p *sim.Proc, src, dst addrspace.NodeID, port uint64, req []uint64) []uint64 {
-	s.nextReply++
-	replyPort := replyPortBase + s.nextReply
+	s.nextReply[src]++
+	replyPort := replyPortBase + s.nextReply[src] // replies land in src's own port space
 	framed := append([]uint64{replyPort, uint64(src)}, req...)
 	s.SendP(p, src, dst, port, framed)
 	return s.RecvP(p, src, replyPort)
@@ -124,7 +128,8 @@ func (s *System) Call(p *sim.Proc, src, dst addrspace.NodeID, port uint64, req [
 // in a fresh process (so slow handlers do not block the port) and sends
 // the handler's result back to the caller.
 func (s *System) Serve(node addrspace.NodeID, port uint64, handler func(p *sim.Proc, src addrspace.NodeID, req []uint64) []uint64) {
-	s.c.Eng.SpawnDaemon(fmt.Sprintf("%v.server.%d", node, port), func(p *sim.Proc) {
+	eng := s.c.EngineOf(int(node))
+	eng.SpawnDaemon(fmt.Sprintf("%v.server.%d", node, port), func(p *sim.Proc) {
 		for {
 			framed := s.RecvP(p, node, port)
 			if len(framed) < 2 {
@@ -133,7 +138,7 @@ func (s *System) Serve(node addrspace.NodeID, port uint64, handler func(p *sim.P
 			replyPort := framed[0]
 			src := addrspace.NodeID(framed[1])
 			req := framed[2:]
-			s.c.Eng.SpawnDaemon(fmt.Sprintf("%v.handler.%d", node, port), func(hp *sim.Proc) {
+			eng.SpawnDaemon(fmt.Sprintf("%v.handler.%d", node, port), func(hp *sim.Proc) {
 				resp := handler(hp, src, req)
 				s.SendP(hp, node, src, replyPort, resp)
 			})

@@ -143,8 +143,9 @@ func Run(c *core.Cluster, node int, cfg Config, refs []Ref) (Result, error) {
 		}
 	}
 
-	start := c.Eng.Now()
-	c.Eng.Spawn(fmt.Sprintf("pager.%d", node), func(p *sim.Proc) {
+	eng := c.EngineOf(node)
+	start := eng.Now()
+	eng.Spawn(fmt.Sprintf("pager.%d", node), func(p *sim.Proc) {
 		for _, r := range refs {
 			if resident[r.Page] {
 				res.Hits++
@@ -178,6 +179,6 @@ func Run(c *core.Cluster, node int, cfg Config, refs []Ref) (Result, error) {
 	if err := c.Run(); err != nil {
 		return res, err
 	}
-	res.Elapsed = c.Eng.Now() - start
+	res.Elapsed = eng.Now() - start
 	return res, nil
 }

@@ -111,6 +111,11 @@ type Config struct {
 	Topology string
 	// ChainPerSwitch is the nodes-per-switch for the chain topology.
 	ChainPerSwitch int
+	// Shards is the number of parallel simulation shards the cluster is
+	// partitioned into (0 or 1 = classic sequential engine). Results are
+	// bit-identical across shard counts; shards only change wall-clock
+	// speed.
+	Shards int
 }
 
 // DefaultTiming returns the calibrated timing constants.

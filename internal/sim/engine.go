@@ -10,15 +10,29 @@ import (
 // Event is a scheduled callback. The zero value is not useful; events are
 // created by Engine.Schedule and Engine.At.
 type Event struct {
+	eng      *Engine
 	when     Time
 	seq      uint64
 	fn       func()
 	canceled bool
+	fired    bool
 }
 
 // Cancel prevents the event's callback from running. Canceling an event
-// that already fired or was already canceled is a no-op.
-func (ev *Event) Cancel() { ev.canceled = true }
+// that already fired or was already canceled is a no-op. Canceled events
+// are removed from the queue lazily; when more than half the queue is
+// dead weight the engine compacts it, so long-running simulations that
+// cancel many timers (e.g. ARQ retransmission guards) do not leak.
+func (ev *Event) Cancel() {
+	if ev.canceled || ev.fired {
+		return
+	}
+	ev.canceled = true
+	if ev.eng != nil {
+		ev.eng.deadEvents++
+		ev.eng.maybeCompact()
+	}
+}
 
 // When reports the simulated time at which the event is scheduled to fire.
 func (ev *Event) When() Time { return ev.when }
@@ -43,29 +57,80 @@ func (h *eventHeap) Pop() interface{} {
 	return ev
 }
 
+// xmsg is a timestamped cross-entity message delivered through a Chan.
+// Messages are ordered by (time, channel id, per-channel sequence): the
+// key depends only on build-time channel identity, never on which shard
+// ran the sender, which is what makes execution order — and therefore
+// trace hashes — invariant to the shard count.
+type xmsg struct {
+	at   Time
+	chid uint64
+	seq  uint64
+	fn   func()
+}
+
+type msgHeap []xmsg
+
+func (h msgHeap) Len() int { return len(h) }
+func (h msgHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].chid != h[j].chid {
+		return h[i].chid < h[j].chid
+	}
+	return h[i].seq < h[j].seq
+}
+func (h msgHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *msgHeap) Push(x interface{}) { *h = append(*h, x.(xmsg)) }
+func (h *msgHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	m := old[n-1]
+	old[n-1] = xmsg{}
+	*h = old[:n-1]
+	return m
+}
+
 // ErrStalled is returned by Run when the event queue drains while
 // non-daemon processes are still blocked: the simulation deadlocked.
 var ErrStalled = errors.New("sim: event queue empty but non-daemon processes still blocked")
 
-// Engine is a deterministic discrete-event simulation engine.
+// Engine is a deterministic discrete-event simulation engine — one shard
+// of a Group.
 //
-// Create one with NewEngine, register processes with Spawn/SpawnDaemon,
-// schedule raw events with Schedule, and drive it with Run or RunUntil.
-// An Engine must only be used from its own event/process context once
-// Run has been called; it is not safe for concurrent use from outside.
+// Create one with NewEngine (a standalone single shard) or via NewGroup,
+// register processes with Spawn/SpawnDaemon, schedule raw events with
+// Schedule, and drive it with Run or RunUntil. An Engine must only be
+// used from its own event/process context once Run has been called; it is
+// not safe for concurrent use from outside.
+//
+// The engine consumes two work sources: its event heap, ordered by
+// (time, schedule sequence), and its inbox of cross-entity messages,
+// ordered by (time, channel id, channel sequence). At equal timestamps
+// inbox messages run before heap events; the rule is the same whether the
+// engine runs solo or as one shard of many, which keeps execution order
+// identical across shard counts.
 type Engine struct {
-	now     Time
-	events  eventHeap
-	seq     uint64
-	rng     *rand.Rand
-	alive   int // non-daemon procs not yet finished
-	stopped bool
-	failure error
-	current *Proc // proc currently executing, if any
+	now        Time
+	events     eventHeap
+	seq        uint64
+	inbox      msgHeap
+	rng        *rand.Rand
+	alive      int // non-daemon procs not yet finished
+	stopped    bool
+	failure    error
+	current    *Proc  // proc currently executing, if any
+	deadEvents int    // canceled events still sitting in the heap
+	executed   uint64 // events + messages executed
+	nextChanID uint64 // chan ids for standalone (group-less) engines
+
+	group *Group
+	shard int
 }
 
-// NewEngine returns an engine at time zero whose random source is seeded
-// with seed, so runs are reproducible.
+// NewEngine returns a standalone engine at time zero whose random source
+// is seeded with seed, so runs are reproducible.
 func NewEngine(seed int64) *Engine {
 	return &Engine{rng: rand.New(rand.NewSource(seed))}
 }
@@ -76,9 +141,33 @@ func (e *Engine) Now() Time { return e.now }
 // Rand exposes the engine's deterministic random source.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
+// Shard reports the engine's shard index within its Group (0 for a
+// standalone engine).
+func (e *Engine) Shard() int { return e.shard }
+
+// Group reports the Group the engine belongs to (nil for a standalone
+// engine built with NewEngine).
+func (e *Engine) Group() *Group { return e.group }
+
+// Executed reports the number of events and messages the engine has run.
+func (e *Engine) Executed() uint64 { return e.executed }
+
 // Schedule arranges for fn to run delay nanoseconds from now.
 // A negative delay is treated as zero. Events scheduled for the same
 // instant fire in scheduling order.
+// checkSameShard panics when a process from another shard is about to
+// block on (or be enqueued by) a primitive owned by e. Blocking
+// primitives are shard-local state: a waiter is woken by its owner
+// engine's event loop, so a cross-shard waiter would be resumed on the
+// wrong thread, breaking both determinism and the hand-off discipline.
+// Cross-shard interaction must go through a Chan instead.
+func (e *Engine) checkSameShard(p *Proc) {
+	if p.eng != e {
+		panic(fmt.Sprintf("sim: process %q (shard %d) blocked on a primitive owned by shard %d; cross-shard blocking is illegal — route the interaction through a Chan",
+			p.name, p.eng.shard, e.shard))
+	}
+}
+
 func (e *Engine) Schedule(delay Time, fn func()) *Event {
 	if delay < 0 {
 		delay = 0
@@ -92,53 +181,142 @@ func (e *Engine) At(t Time, fn func()) *Event {
 		t = e.now
 	}
 	e.seq++
-	ev := &Event{when: t, seq: e.seq, fn: fn}
+	ev := &Event{eng: e, when: t, seq: e.seq, fn: fn}
 	heap.Push(&e.events, ev)
 	return ev
 }
 
 // Stop halts the engine: Run returns after the currently executing event
-// completes. Pending events remain queued.
+// completes. Pending events remain queued. Stopping one shard stops the
+// whole Group at the end of the current round.
 func (e *Engine) Stop() { e.stopped = true }
 
-// Pending reports the number of queued (possibly canceled) events.
-func (e *Engine) Pending() int { return len(e.events) }
+// Pending reports the number of live queued events and undelivered inbox
+// messages. Canceled events are not counted.
+func (e *Engine) Pending() int { return len(e.events) - e.deadEvents + len(e.inbox) }
 
 // Alive reports the number of non-daemon processes that have not finished.
 func (e *Engine) Alive() int { return e.alive }
 
+// maybeCompact rebuilds the event heap without canceled events once they
+// outnumber the live ones (and are numerous enough to matter).
+func (e *Engine) maybeCompact() {
+	if e.deadEvents < 64 || e.deadEvents*2 <= len(e.events) {
+		return
+	}
+	live := e.events[:0]
+	for _, ev := range e.events {
+		if !ev.canceled {
+			live = append(live, ev)
+		}
+	}
+	for i := len(live); i < len(e.events); i++ {
+		e.events[i] = nil
+	}
+	e.events = live
+	heap.Init(&e.events)
+	e.deadEvents = 0
+}
+
+// peekEvent discards canceled events at the head of the heap and reports
+// the time of the next live event.
+func (e *Engine) peekEvent() (Time, bool) {
+	for len(e.events) > 0 && e.events[0].canceled {
+		heap.Pop(&e.events)
+		e.deadEvents--
+	}
+	if len(e.events) == 0 {
+		return 0, false
+	}
+	return e.events[0].when, true
+}
+
+// nextTime reports the timestamp of the engine's earliest pending work
+// (event or inbox message).
+func (e *Engine) nextTime() (Time, bool) {
+	et, eok := e.peekEvent()
+	if len(e.inbox) > 0 {
+		if !eok || e.inbox[0].at < et {
+			return e.inbox[0].at, true
+		}
+	}
+	return et, eok
+}
+
+// runWindow executes all work with timestamp < horizon (horizon < 0 means
+// unbounded) and <= deadline (deadline < 0 means unbounded). Inbox
+// messages run before heap events scheduled for the same instant. It
+// stops early on Stop or a recorded failure.
+func (e *Engine) runWindow(horizon, deadline Time) {
+	for !e.stopped && e.failure == nil {
+		et, eok := e.peekEvent()
+		mok := len(e.inbox) > 0
+		if !eok && !mok {
+			return
+		}
+		var t Time
+		isMsg := mok && (!eok || e.inbox[0].at <= et)
+		if isMsg {
+			t = e.inbox[0].at
+		} else {
+			t = et
+		}
+		if horizon >= 0 && t >= horizon {
+			return
+		}
+		if deadline >= 0 && t > deadline {
+			return
+		}
+		if t < e.now {
+			// A message flushed into this shard's past means the group
+			// scheduler's safe-window bound was wrong. Fail loudly: silently
+			// rewinding the clock corrupts every model invariant.
+			panic(fmt.Sprintf("sim: causality violation on shard %d: work at t=%d behind now=%d", e.shard, t, e.now))
+		}
+		e.now = t
+		e.executed++
+		if isMsg {
+			m := heap.Pop(&e.inbox).(xmsg)
+			m.fn()
+		} else {
+			ev := heap.Pop(&e.events).(*Event)
+			ev.fired = true
+			ev.fn()
+		}
+	}
+}
+
 // Run executes events until the queue drains, Stop is called, or a process
 // panics. It returns nil on a clean drain with no blocked non-daemon
 // processes, ErrStalled if such processes remain blocked (deadlock), or an
-// error describing a process panic.
+// error describing a process panic. If the engine belongs to a multi-shard
+// Group, Run drives the whole group.
 func (e *Engine) Run() error { return e.RunUntil(-1) }
 
 // RunUntil executes events with timestamps <= deadline (deadline < 0 means
 // no deadline). On return without error the clock equals the deadline if
 // one was given and events remained, otherwise the time of the last event.
+// If the engine belongs to a multi-shard Group, RunUntil drives the whole
+// group.
 func (e *Engine) RunUntil(deadline Time) error {
+	if e.group != nil && len(e.group.engines) > 1 {
+		return e.group.RunUntil(deadline)
+	}
 	e.stopped = false
-	for len(e.events) > 0 && !e.stopped {
-		next := e.events[0]
-		if deadline >= 0 && next.when > deadline {
-			e.now = deadline
-			return nil
-		}
-		heap.Pop(&e.events)
-		if next.canceled {
-			continue
-		}
-		e.now = next.when
-		next.fn()
-		if e.failure != nil {
-			return e.failure
-		}
+	e.runWindow(-1, deadline)
+	if e.failure != nil {
+		return e.failure
 	}
 	if e.stopped {
 		return nil
 	}
-	if deadline >= 0 && e.now < deadline {
-		e.now = deadline
+	if deadline >= 0 {
+		if e.now < deadline {
+			e.now = deadline
+		}
+		if e.Pending() > 0 {
+			return nil // stopped at the deadline, not drained
+		}
 	}
 	if e.alive > 0 {
 		return fmt.Errorf("%w (%d blocked)", ErrStalled, e.alive)

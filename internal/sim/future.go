@@ -37,6 +37,7 @@ func (c *Completion) Wait(p *Proc) {
 	if c.done {
 		return
 	}
+	c.eng.checkSameShard(p)
 	c.waiters = append(c.waiters, p)
 	p.park()
 }

@@ -29,6 +29,7 @@ func (q *Queue[T]) Full() bool { return q.cap > 0 && len(q.items) >= q.cap }
 
 // Put appends v, blocking p while the queue is full.
 func (q *Queue[T]) Put(p *Proc, v T) {
+	q.eng.checkSameShard(p)
 	for q.Full() {
 		q.putters = append(q.putters, p)
 		p.park()
@@ -58,6 +59,7 @@ func (q *Queue[T]) push(v T) {
 // Get removes and returns the head item, blocking p while the queue is
 // empty.
 func (q *Queue[T]) Get(p *Proc) T {
+	q.eng.checkSameShard(p)
 	for len(q.items) == 0 {
 		q.getters = append(q.getters, p)
 		p.park()
@@ -105,6 +107,7 @@ func (s *Semaphore) Count() int { return s.count }
 
 // Acquire takes one unit, blocking p until a unit is available.
 func (s *Semaphore) Acquire(p *Proc) {
+	s.eng.checkSameShard(p)
 	for s.count == 0 {
 		s.waiters = append(s.waiters, p)
 		p.park()

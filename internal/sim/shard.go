@@ -1,0 +1,415 @@
+// Sharded conservative parallel discrete-event simulation.
+//
+// A Group partitions the simulation into shards — one Engine each, with
+// its own event heap, sequence counter, and inbox. All cross-shard (and,
+// by convention, all cross-entity) interactions travel through Chans:
+// timestamped messages with a per-channel minimum delay. The group-wide
+// minimum of those delays is the lookahead of classic conservative PDES:
+// in each round every shard may safely execute all work strictly before
+//
+//	cap(shard) = min over incoming chans ch of next(src(ch)) + minDelay(ch)
+//
+// because any message a source generates in its own window carries a
+// timestamp >= next(src) + minDelay. Shards run their windows
+// concurrently on goroutines, then meet at a barrier where staged
+// messages are flushed into destination inboxes and the next round's
+// caps are computed (a YAWNS/LBTS-style synchronization).
+//
+// Determinism does not depend on the schedule: messages are ordered by
+// (time, channel id, channel sequence) — build-time identities — and at
+// equal timestamps every engine runs inbox messages before heap events.
+// A group of one shard executes the exact same order with no goroutines.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+)
+
+// Group is a set of engines (shards) advancing one simulation together.
+type Group struct {
+	engines    []*Engine
+	chans      []*Chan
+	incoming   [][]*Chan // per shard: cross-shard chans delivering to it
+	nextChanID uint64
+
+	// dist[j][i] is the minimum accumulated channel delay over any path of
+	// one or more channels from shard j to shard i (infTime when no path
+	// exists; the diagonal is a round trip through other shards, not 0).
+	// It is the transitive lookahead the safe-window bound needs: shard
+	// j's queued work at next[j] cannot cause any effect on shard i before
+	// next[j] + dist[j][i], even relayed through shards that are currently
+	// idle. Rebuilt lazily after channel creation.
+	dist      [][]Time
+	distDirty bool
+
+	// critPath accumulates, over all barrier rounds, the largest number
+	// of work items any single shard executed in that round: the length
+	// of the round-structured critical path. Executed()/CritPath() is the
+	// speedup an ideal machine (one core per shard, free barriers) would
+	// get from this decomposition — a hardware-independent measure of the
+	// parallelism the shard layout exposes.
+	critPath uint64
+}
+
+// infTime is an effectively infinite timestamp (far beyond any workload,
+// still safe to add channel delays to without overflow).
+const infTime = Time(1) << 60
+
+// NewGroup returns a group of `shards` engines. Shard i's random source
+// is seeded with seed+i; NewGroup(seed, 1) is equivalent to
+// NewEngine(seed) driven sequentially.
+func NewGroup(seed int64, shards int) *Group {
+	if shards < 1 {
+		shards = 1
+	}
+	g := &Group{
+		engines:  make([]*Engine, shards),
+		incoming: make([][]*Chan, shards),
+	}
+	for i := range g.engines {
+		e := NewEngine(seed + int64(i))
+		e.group = g
+		e.shard = i
+		g.engines[i] = e
+	}
+	return g
+}
+
+// Shards reports the number of engines in the group.
+func (g *Group) Shards() int { return len(g.engines) }
+
+// Shard returns engine i.
+func (g *Group) Shard(i int) *Engine { return g.engines[i] }
+
+// Now reports the latest current time across shards.
+func (g *Group) Now() Time {
+	var t Time
+	for _, e := range g.engines {
+		if e.now > t {
+			t = e.now
+		}
+	}
+	return t
+}
+
+// Pending reports live queued events plus undelivered messages (inboxes
+// and staged channel sends) across all shards.
+func (g *Group) Pending() int {
+	n := 0
+	for _, e := range g.engines {
+		n += e.Pending()
+	}
+	for _, ch := range g.chans {
+		n += len(ch.pending)
+	}
+	return n
+}
+
+// Alive reports unfinished non-daemon processes across all shards.
+func (g *Group) Alive() int {
+	n := 0
+	for _, e := range g.engines {
+		n += e.alive
+	}
+	return n
+}
+
+// Executed reports events + messages executed across all shards.
+func (g *Group) Executed() uint64 {
+	var n uint64
+	for _, e := range g.engines {
+		n += e.executed
+	}
+	return n
+}
+
+// CritPath reports the accumulated critical-path length in work items
+// (see the field doc). For a single-shard group it equals Executed().
+func (g *Group) CritPath() uint64 {
+	if len(g.engines) == 1 {
+		return g.engines[0].executed
+	}
+	return g.critPath
+}
+
+// Stop halts every shard; Run returns at the end of the current round.
+func (g *Group) Stop() {
+	for _, e := range g.engines {
+		e.stopped = true
+	}
+}
+
+// Run drives the group until all shards drain (see Engine.Run).
+func (g *Group) Run() error { return g.RunUntil(-1) }
+
+// RunUntil drives the group, executing work with timestamps <= deadline
+// (deadline < 0 means no deadline), with the same contract as
+// Engine.RunUntil.
+func (g *Group) RunUntil(deadline Time) error {
+	if len(g.engines) == 1 {
+		return g.engines[0].RunUntil(deadline)
+	}
+	for _, e := range g.engines {
+		e.stopped = false
+	}
+	if g.distDirty || g.dist == nil {
+		g.rebuildDist()
+	}
+	var wg sync.WaitGroup
+	var runnable []window
+	for {
+		g.flush()
+		if err := g.failureOrStopped(); err != nil || g.anyStopped() {
+			return err
+		}
+		// Global lower bound on remaining work.
+		next := make([]Time, len(g.engines))
+		var globalNext Time
+		haveWork := false
+		for i, e := range g.engines {
+			t, ok := e.nextTime()
+			if !ok {
+				next[i] = -1
+				continue
+			}
+			next[i] = t
+			if !haveWork || t < globalNext {
+				globalNext = t
+			}
+			haveWork = true
+		}
+		if !haveWork || (deadline >= 0 && globalNext > deadline) {
+			break
+		}
+		// Per-shard safe horizon from incoming channel lookahead.
+		runnable = runnable[:0]
+		for i, e := range g.engines {
+			if next[i] < 0 {
+				continue // nothing queued; cross-shard sends arrive at a barrier
+			}
+			cap := g.horizon(i, next)
+			if cap >= 0 && next[i] >= cap {
+				continue // window is empty this round
+			}
+			if deadline >= 0 && next[i] > deadline {
+				continue
+			}
+			runnable = append(runnable, window{e: e, cap: cap})
+		}
+		if len(runnable) == 0 {
+			break // nothing runnable below the deadline
+		}
+		// Run all but one window on worker goroutines and the last on
+		// this goroutine: it saves a spawn, and when only one shard has
+		// work the round is entirely sequential.
+		for i := range runnable {
+			runnable[i].execBefore = runnable[i].e.executed
+		}
+		for _, w := range runnable[:len(runnable)-1] {
+			wg.Add(1)
+			go func(e *Engine, cap Time) {
+				defer wg.Done()
+				defer func() {
+					if r := recover(); r != nil {
+						e.fail("event", r)
+					}
+				}()
+				e.runWindow(cap, deadline)
+			}(w.e, w.cap)
+		}
+		last := runnable[len(runnable)-1]
+		last.e.runWindow(last.cap, deadline)
+		wg.Wait()
+		var maxDelta uint64
+		for _, w := range runnable {
+			if d := w.e.executed - w.execBefore; d > maxDelta {
+				maxDelta = d
+			}
+		}
+		g.critPath += maxDelta
+	}
+	if err := g.failureOrStopped(); err != nil || g.anyStopped() {
+		return err
+	}
+	// Synchronize clocks: to the deadline if one was given, otherwise to
+	// the group-wide time of the last executed work.
+	sync := g.Now()
+	if deadline >= 0 {
+		sync = deadline
+	}
+	for _, e := range g.engines {
+		if e.now < sync {
+			e.now = sync
+		}
+	}
+	if deadline >= 0 && g.Pending() > 0 {
+		return nil // stopped at the deadline, not drained
+	}
+	if n := g.Alive(); n > 0 {
+		return fmt.Errorf("%w (%d blocked)", ErrStalled, n)
+	}
+	return nil
+}
+
+// window pairs a shard with its safe horizon for one round.
+type window struct {
+	e          *Engine
+	cap        Time
+	execBefore uint64
+}
+
+// horizon computes shard i's safe cap for this round: the earliest time
+// any other shard's queued work could cause a message to arrive at i,
+// over any channel path — including paths relayed through currently idle
+// shards (an idle shard reacts to what it receives, so its onward sends
+// are bounded by the instigator's time plus the path delay), and round
+// trips that come back to i itself. -1 means unbounded.
+func (g *Group) horizon(i int, next []Time) Time {
+	cap := infTime
+	for j := range g.engines {
+		if next[j] < 0 {
+			continue // truly idle: nothing queued anywhere to react to
+		}
+		if d := g.dist[j][i]; next[j]+d < cap {
+			cap = next[j] + d
+		}
+	}
+	if cap >= infTime {
+		return -1
+	}
+	return cap
+}
+
+// rebuildDist recomputes the all-pairs minimum channel-path delay matrix
+// (Floyd–Warshall over the shard graph; the diagonal starts at infTime
+// so dist[i][i] is the shortest round trip, not zero).
+func (g *Group) rebuildDist() {
+	n := len(g.engines)
+	d := make([][]Time, n)
+	for i := range d {
+		d[i] = make([]Time, n)
+		for j := range d[i] {
+			d[i][j] = infTime
+		}
+	}
+	for _, ch := range g.chans {
+		s, t := ch.src.shard, ch.dst.shard
+		if s != t && ch.minDelay < d[s][t] {
+			d[s][t] = ch.minDelay
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if d[i][k] >= infTime {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if v := d[i][k] + d[k][j]; v < d[i][j] {
+					d[i][j] = v
+				}
+			}
+		}
+	}
+	g.dist = d
+	g.distDirty = false
+}
+
+// flush moves every staged cross-shard message into its destination
+// inbox. Called only between rounds, when no shard is executing.
+func (g *Group) flush() {
+	for _, ch := range g.chans {
+		if len(ch.pending) == 0 {
+			continue
+		}
+		for _, m := range ch.pending {
+			heap.Push(&ch.dst.inbox, m)
+		}
+		ch.pending = ch.pending[:0]
+	}
+}
+
+// failureOrStopped reports the lowest-shard failure, if any.
+func (g *Group) failureOrStopped() error {
+	for _, e := range g.engines {
+		if e.failure != nil {
+			return e.failure
+		}
+	}
+	return nil
+}
+
+func (g *Group) anyStopped() bool {
+	for _, e := range g.engines {
+		if e.stopped {
+			return true
+		}
+	}
+	return false
+}
+
+// Chan is a deterministic timestamped message channel between two
+// engines. Its identity (id) and per-channel sequence numbers are fixed
+// at build time, so delivery order — (time, id, seq) with messages
+// running before same-instant events — is independent of the shard
+// layout. minDelay is the channel's lookahead: Send clamps every delay
+// up to it, and the group scheduler relies on it to bound safe windows.
+type Chan struct {
+	id       uint64
+	src, dst *Engine
+	minDelay Time
+	seq      uint64
+	pending  []xmsg
+}
+
+// NewChan creates a channel from src to dst with the given minimum
+// delay (clamped up to 1ns: zero-latency cross-entity interaction would
+// leave no lookahead). Both engines must belong to the same Group; a
+// standalone engine may only channel to itself. Channels must be created
+// during build, before the simulation runs, in a deterministic order.
+func NewChan(src, dst *Engine, minDelay Time) *Chan {
+	if minDelay < 1 {
+		minDelay = 1
+	}
+	ch := &Chan{src: src, dst: dst, minDelay: minDelay}
+	if g := src.group; g != nil {
+		if dst.group != g {
+			panic("sim: Chan endpoints belong to different groups")
+		}
+		ch.id = g.nextChanID
+		g.nextChanID++
+		g.chans = append(g.chans, ch)
+		if src != dst {
+			g.incoming[dst.shard] = append(g.incoming[dst.shard], ch)
+			g.distDirty = true
+		}
+	} else {
+		if src != dst {
+			panic("sim: cross-engine Chan requires engines from one Group")
+		}
+		ch.id = src.nextChanID
+		src.nextChanID++
+	}
+	return ch
+}
+
+// MinDelay reports the channel's lookahead.
+func (ch *Chan) MinDelay() Time { return ch.minDelay }
+
+// Send schedules fn to run on the destination engine delay nanoseconds
+// after the source engine's current time (clamped up to the channel's
+// minimum delay). It must be called from the source engine's context —
+// an event, message, or process running on it — or during build.
+func (ch *Chan) Send(delay Time, fn func()) {
+	if delay < ch.minDelay {
+		delay = ch.minDelay
+	}
+	m := xmsg{at: ch.src.now + delay, chid: ch.id, seq: ch.seq, fn: fn}
+	ch.seq++
+	if ch.src == ch.dst {
+		heap.Push(&ch.dst.inbox, m)
+	} else {
+		ch.pending = append(ch.pending, m)
+	}
+}

@@ -16,7 +16,10 @@ func checkOne(vs *[]Violation, inv, format string, args ...any) {
 // checkInvariants walks the final cluster state and the recorded event
 // stream after a quiesced run and returns every violated property.
 func (h *harness) checkInvariants() []Violation {
-	vs := append([]Violation(nil), h.runtime...)
+	var vs []Violation
+	for _, ns := range h.perNode {
+		vs = append(vs, ns.violations...)
+	}
 	h.checkDrain(&vs)
 	h.checkCoherence(&vs)
 	h.checkMulticast(&vs)

@@ -42,6 +42,10 @@ import (
 
 // Options adjusts how a scenario is built.
 type Options struct {
+	// Shards sets the number of simulation shards the cluster runs on
+	// (0 or 1 = sequential). A scenario's trace hash is invariant to this
+	// knob — the property TestShardInvariance proves.
+	Shards int
 	// NoFaults disables the link fault plan (clean-network control runs).
 	NoFaults bool
 	// BreakCoherence installs the deliberately broken protocol variant
@@ -178,17 +182,18 @@ func Run(seed int64, opts Options) (*Result, error) {
 		budget = 10 * sim.Second
 	}
 	err := h.c.RunUntil(budget)
+	h.log = h.slog.Merge()
 	switch {
 	case err != nil:
 		res.Violations = append(res.Violations, Violation{
 			Invariant: "quiescence",
 			Detail:    fmt.Sprintf("engine error: %v", err),
 		})
-	case h.c.Eng.Pending() > 0 || h.c.Eng.Alive() > 0:
+	case h.c.Group.Pending() > 0 || h.c.Group.Alive() > 0:
 		res.Violations = append(res.Violations, Violation{
 			Invariant: "quiescence",
 			Detail: fmt.Sprintf("still active at the %v budget (%d events pending, %d programs blocked)",
-				budget, h.c.Eng.Pending(), h.c.Eng.Alive()),
+				budget, h.c.Group.Pending(), h.c.Group.Alive()),
 		})
 	default:
 		// Only a quiesced run has meaningful final state to check.
@@ -199,7 +204,7 @@ func Run(seed int64, opts Options) (*Result, error) {
 	res.Events = h.log.Len()
 	// RunUntil parks the clock at the deadline once drained; the last
 	// event's timestamp is the scenario's real extent.
-	res.SimTime = h.c.Eng.Now()
+	res.SimTime = h.c.Group.Now()
 	if evs := h.log.Events(); len(evs) > 0 && err == nil {
 		res.SimTime = sim.Time(evs[len(evs)-1].At)
 	}
@@ -213,7 +218,8 @@ type harness struct {
 	opts Options
 	c    *core.Cluster
 	u    *coherence.Update
-	log  *trace.EventLog
+	slog *trace.ShardedLog // per-node buffers, filled while running
+	log  *trace.EventLog   // canonical merge, built after quiescence
 
 	// Region layout (virtual base addresses + home nodes).
 	cohVA   viewVA   // replicated page under the update protocol
@@ -223,7 +229,9 @@ type harness struct {
 	srcVA   viewVA   // remote-copy source, prefilled before the chaos
 	dstVA   []viewVA // per-node remote-copy destination
 
-	// Issue tallies (unique values make cross-node matching exact).
+	// Issue tallies (unique values make cross-node matching exact). All
+	// of these are derived from the pre-drawn programs at build time, so
+	// nothing mutates them while shards run in parallel.
 	perNode   []*nodeState
 	incTotals []int          // fetch&incs issued per node
 	copied    []int          // copies launched per node
@@ -231,7 +239,6 @@ type harness struct {
 	cohVals   map[uint64]int // issued coherent-page value → word
 	mcVals    map[uint64]int // issued multicast value → word
 	fsVals    map[uint64]bool
-	runtime   []Violation // violations observed while running (provenance)
 }
 
 // viewVA is a shared region's base address plus its home node.

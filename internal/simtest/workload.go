@@ -66,10 +66,13 @@ type fenceRec struct {
 	writes []writeRec
 }
 
-// nodeState is one node's program bookkeeping.
+// nodeState is one node's program bookkeeping. Each instance is written
+// only from its own node's program (i.e. from that node's shard), so
+// sharded runs never contend on it.
 type nodeState struct {
-	pending []writeRec
-	fences  []fenceRec
+	pending    []writeRec
+	fences     []fenceRec
+	violations []Violation // provenance violations observed while running
 }
 
 // build constructs the cluster, regions, and per-node programs for sc.
@@ -81,12 +84,13 @@ func build(sc Scenario, opts Options) *harness {
 	cfg.Placement = sc.Placement
 	cfg.Sizing.MemBytes = 1 << 20 // scenarios need a handful of pages
 	cfg.Link.Faults = sc.Faults
+	cfg.Shards = opts.Shards
 
 	h := &harness{
 		sc:        sc,
 		opts:      opts,
 		c:         core.New(cfg),
-		log:       trace.NewEventLog(),
+		slog:      trace.NewShardedLog(sc.Nodes),
 		incTotals: make([]int, sc.Nodes),
 		copied:    make([]int, sc.Nodes),
 		plainVals: make(map[uint64]int),
@@ -94,8 +98,8 @@ func build(sc Scenario, opts Options) *harness {
 		mcVals:    make(map[uint64]int),
 		fsVals:    make(map[uint64]bool),
 	}
-	for _, n := range h.c.Nodes {
-		n.HIB.SetRecorder(h.log.Append)
+	for i, n := range h.c.Nodes {
+		n.HIB.SetRecorder(h.slog.Recorder(i))
 	}
 
 	layout := sim.ForkRNG(uint64(sc.Seed), "simtest/layout")
@@ -163,6 +167,7 @@ func build(sc Scenario, opts Options) *harness {
 	for i := 0; i < sc.Nodes; i++ {
 		h.perNode[i] = &nodeState{}
 		ops := h.genProgram(i, plainHome, mcHome)
+		h.tally(i, ops)
 		var w *tsync.Waiter
 		if bar != nil {
 			w = bar.Participant()
@@ -280,6 +285,29 @@ func (h *harness) genProgram(i, plainHome, mcHome int) []op {
 	return ops
 }
 
+// tally pre-registers node i's program in the cluster-wide issue maps.
+// Programs execute every generated op unconditionally, so the tallies
+// are exact — and recording them at build time means the shared maps are
+// read-only while shards run in parallel.
+func (h *harness) tally(i int, ops []op) {
+	for _, o := range ops {
+		switch o.kind {
+		case opPlainStore:
+			h.plainVals[o.val] = o.word
+		case opCohStore:
+			h.cohVals[o.val] = o.word
+		case opMcastStore:
+			h.mcVals[o.val] = o.word
+		case opFetchStore, opCAS:
+			h.fsVals[o.val] = true
+		case opFetchInc:
+			h.incTotals[i]++
+		case opCopy:
+			h.copied[i]++
+		}
+	}
+}
+
 // runProgram executes node i's generated sequence, tracking issued writes
 // and fence completions for the invariant checkers.
 func (h *harness) runProgram(ctx *cpu.Ctx, i int, ops []op, w *tsync.Waiter) {
@@ -293,31 +321,24 @@ func (h *harness) runProgram(ctx *cpu.Ctx, i int, ops []op, w *tsync.Waiter) {
 		switch o.kind {
 		case opPlainStore:
 			ctx.Store(h.plainVA.va+addrspace.VAddr(8*o.word), o.val)
-			h.plainVals[o.val] = o.word
 			ns.pending = append(ns.pending, writeRec{regPlain, o.word, o.val})
 		case opPlainLoad:
-			h.loadSanity("plain", ctx.Load(h.plainVA.va+addrspace.VAddr(8*o.word)), h.plainVals)
+			h.loadSanity(ns, "plain", ctx.Load(h.plainVA.va+addrspace.VAddr(8*o.word)), h.plainVals)
 		case opCohStore:
 			ctx.Store(h.cohVA.va+addrspace.VAddr(8*o.word), o.val)
-			h.cohVals[o.val] = o.word
 			ns.pending = append(ns.pending, writeRec{regCoh, o.word, o.val})
 		case opCohLoad:
-			h.loadSanity("coherent", ctx.Load(h.cohVA.va+addrspace.VAddr(8*o.word)), h.cohVals)
+			h.loadSanity(ns, "coherent", ctx.Load(h.cohVA.va+addrspace.VAddr(8*o.word)), h.cohVals)
 		case opFetchInc:
 			ctx.FetchAndInc(h.atomVA.va)
-			h.incTotals[i]++
 		case opFetchStore:
 			ctx.FetchAndStore(h.atomVA.va+8, o.val)
-			h.fsVals[o.val] = true
 		case opCAS:
 			ctx.CompareAndSwap(h.atomVA.va+8, o.val, o.expected)
-			h.fsVals[o.val] = true
 		case opCopy:
 			ctx.RemoteCopy(h.dstVA[i].va, h.srcVA.va, h.sc.CopyWords)
-			h.copied[i]++
 		case opMcastStore:
 			ctx.Store(h.mcVA.va+addrspace.VAddr(8*o.word), o.val)
-			h.mcVals[o.val] = o.word
 			ns.pending = append(ns.pending, writeRec{regMcast, o.word, o.val})
 		case opFence:
 			fence()
@@ -333,13 +354,14 @@ func (h *harness) runProgram(ctx *cpu.Ctx, i int, ops []op, w *tsync.Waiter) {
 
 // loadSanity flags a loaded value that no program ever wrote: under
 // unique-value workloads every observable word is either its initial zero
-// or some issued value.
-func (h *harness) loadSanity(region string, v uint64, issued map[uint64]int) {
+// or some issued value. Violations land in the observing node's own
+// state (the shared maps are read-only during the run).
+func (h *harness) loadSanity(ns *nodeState, region string, v uint64, issued map[uint64]int) {
 	if v == 0 {
 		return
 	}
 	if _, ok := issued[v]; !ok {
-		h.runtime = append(h.runtime, Violation{
+		ns.violations = append(ns.violations, Violation{
 			Invariant: "value-provenance",
 			Detail:    fmt.Sprintf("%s load observed %#x, which no program wrote", region, v),
 		})

@@ -98,13 +98,36 @@ func (n *Network) QueuedPackets() int {
 	return total
 }
 
+// Assign maps fabric elements to engines, so a topology can be spread
+// across the shards of a sim.Group: node i's link endpoints run on
+// Node(i), switch s's forwarding pipeline on Switch(s). Links whose two
+// endpoints land on different engines become cross-shard links whose
+// propagation delay is the group's lookahead.
+type Assign struct {
+	Node   func(i int) *sim.Engine
+	Switch func(s int) *sim.Engine
+}
+
+// SingleEngine places every node and switch on eng — the classic
+// sequential layout.
+func SingleEngine(eng *sim.Engine) Assign {
+	f := func(int) *sim.Engine { return eng }
+	return Assign{Node: f, Switch: f}
+}
+
 // BuildPair connects exactly two nodes back-to-back with one link in each
 // direction and no switch.
 func BuildPair(eng *sim.Engine, lcfg link.Config) *Network {
-	ab := link.New(eng, "n0->n1", lcfg)
-	ba := link.New(eng, "n1->n0", lcfg)
+	return BuildPairOn(SingleEngine(eng), lcfg)
+}
+
+// BuildPairOn is BuildPair with an explicit engine assignment.
+func BuildPairOn(a Assign, lcfg link.Config) *Network {
+	e0, e1 := a.Node(0), a.Node(1)
+	ab := link.NewCross(e0, e1, "n0->n1", lcfg)
+	ba := link.NewCross(e1, e0, "n1->n0", lcfg)
 	return &Network{
-		eng:     eng,
+		eng:     e0,
 		toNet:   []*link.Link{ab, ba},
 		fromNet: []*link.Link{ba, ab},
 		links:   []*link.Link{ab, ba},
@@ -114,14 +137,21 @@ func BuildPair(eng *sim.Engine, lcfg link.Config) *Network {
 
 // BuildStar attaches nnodes nodes to a single switch.
 func BuildStar(eng *sim.Engine, nnodes int, lcfg link.Config, scfg switchfab.Config) *Network {
+	return BuildStarOn(SingleEngine(eng), nnodes, lcfg, scfg)
+}
+
+// BuildStarOn is BuildStar with an explicit engine assignment.
+func BuildStarOn(a Assign, nnodes int, lcfg link.Config, scfg switchfab.Config) *Network {
 	if nnodes < 1 {
 		panic("topology: star needs at least one node")
 	}
-	sw := switchfab.New(eng, "sw0", scfg)
-	n := &Network{eng: eng, Switches: []*switchfab.Switch{sw}, kind: "star"}
+	swEng := a.Switch(0)
+	sw := switchfab.New(swEng, "sw0", scfg)
+	n := &Network{eng: a.Node(0), Switches: []*switchfab.Switch{sw}, kind: "star"}
 	for i := 0; i < nnodes; i++ {
-		up := link.New(eng, fmt.Sprintf("n%d->sw0", i), lcfg)
-		down := link.New(eng, fmt.Sprintf("sw0->n%d", i), lcfg)
+		ne := a.Node(i)
+		up := link.NewCross(ne, swEng, fmt.Sprintf("n%d->sw0", i), lcfg)
+		down := link.NewCross(swEng, ne, fmt.Sprintf("sw0->n%d", i), lcfg)
 		port := sw.AttachPort(up, down)
 		sw.SetRoute(addrspace.NodeID(i), port)
 		n.toNet = append(n.toNet, up)
@@ -135,22 +165,28 @@ func BuildStar(eng *sim.Engine, nnodes int, lcfg link.Config, scfg switchfab.Con
 // BuildChain places nnodes nodes on a line of switches, perSwitch nodes
 // per switch, with bidirectional trunk links between adjacent switches.
 func BuildChain(eng *sim.Engine, nnodes, perSwitch int, lcfg link.Config, scfg switchfab.Config) *Network {
+	return BuildChainOn(SingleEngine(eng), nnodes, perSwitch, lcfg, scfg)
+}
+
+// BuildChainOn is BuildChain with an explicit engine assignment.
+func BuildChainOn(a Assign, nnodes, perSwitch int, lcfg link.Config, scfg switchfab.Config) *Network {
 	if nnodes < 1 || perSwitch < 1 {
 		panic("topology: chain needs nodes and perSwitch >= 1")
 	}
 	nsw := (nnodes + perSwitch - 1) / perSwitch
 	switches := make([]*switchfab.Switch, nsw)
 	for s := range switches {
-		switches[s] = switchfab.New(eng, fmt.Sprintf("sw%d", s), scfg)
+		switches[s] = switchfab.New(a.Switch(s), fmt.Sprintf("sw%d", s), scfg)
 	}
-	n := &Network{eng: eng, Switches: switches, kind: "chain"}
+	n := &Network{eng: a.Node(0), Switches: switches, kind: "chain"}
 
 	// Node ports.
 	nodePort := make([]int, nnodes) // port index of node i on its switch
 	for i := 0; i < nnodes; i++ {
 		s := i / perSwitch
-		up := link.New(eng, fmt.Sprintf("n%d->sw%d", i, s), lcfg)
-		down := link.New(eng, fmt.Sprintf("sw%d->n%d", s, i), lcfg)
+		ne, se := a.Node(i), a.Switch(s)
+		up := link.NewCross(ne, se, fmt.Sprintf("n%d->sw%d", i, s), lcfg)
+		down := link.NewCross(se, ne, fmt.Sprintf("sw%d->n%d", s, i), lcfg)
 		nodePort[i] = switches[s].AttachPort(up, down)
 		n.toNet = append(n.toNet, up)
 		n.fromNet = append(n.fromNet, down)
@@ -161,8 +197,9 @@ func BuildChain(eng *sim.Engine, nnodes, perSwitch int, lcfg link.Config, scfg s
 	rightPort := make([]int, nsw) // port on switch s leading to s+1
 	leftPort := make([]int, nsw)  // port on switch s leading to s-1
 	for s := 0; s < nsw-1; s++ {
-		lr := link.New(eng, fmt.Sprintf("sw%d->sw%d", s, s+1), lcfg)
-		rl := link.New(eng, fmt.Sprintf("sw%d->sw%d", s+1, s), lcfg)
+		es, es1 := a.Switch(s), a.Switch(s+1)
+		lr := link.NewCross(es, es1, fmt.Sprintf("sw%d->sw%d", s, s+1), lcfg)
+		rl := link.NewCross(es1, es, fmt.Sprintf("sw%d->sw%d", s+1, s), lcfg)
 		rightPort[s] = switches[s].AttachPort(rl, lr)
 		leftPort[s+1] = switches[s+1].AttachPort(lr, rl)
 		n.links = append(n.links, lr, rl)

@@ -1,0 +1,67 @@
+package trace
+
+import "sort"
+
+// ShardedLog is a per-node family of event logs for sharded runs: each
+// node appends to its own buffer from its own shard (no cross-shard
+// contention, no locks), and Merge folds the buffers into one canonical
+// stream ordered by (At, Node) with per-node append order preserved.
+// That order depends only on what each node did and when — never on how
+// nodes were packed onto shards or how the Go scheduler interleaved
+// them — so the merged stream's Hash is identical for any shard count.
+//
+// Single-shard runs use the same recorder/merge path: the canonical
+// order is defined once, not per execution mode.
+type ShardedLog struct {
+	logs []*EventLog
+}
+
+// NewShardedLog returns a sharded log with one buffer per node.
+func NewShardedLog(nodes int) *ShardedLog {
+	s := &ShardedLog{logs: make([]*EventLog, nodes)}
+	for i := range s.logs {
+		s.logs[i] = NewEventLog()
+	}
+	return s
+}
+
+// Recorder returns node's append function (to install as an HIB
+// recorder). The returned function must only be called from node's own
+// shard context.
+func (s *ShardedLog) Recorder(node int) func(Event) {
+	l := s.logs[node]
+	return l.Append
+}
+
+// Node exposes one node's private buffer.
+func (s *ShardedLog) Node(node int) *EventLog { return s.logs[node] }
+
+// Len reports the total number of recorded events across all nodes.
+func (s *ShardedLog) Len() int {
+	n := 0
+	for _, l := range s.logs {
+		n += l.Len()
+	}
+	return n
+}
+
+// Merge folds the per-node buffers into one EventLog in canonical
+// (At, Node) order, preserving each node's append order. Call it after
+// the simulation has quiesced; the result is a snapshot.
+//
+// Events for one address are totally ordered in the result: every
+// apply/serialize action for a word happens on that word's home (or
+// owner) node, so its events live in a single buffer whose relative
+// order the stable sort keeps.
+func (s *ShardedLog) Merge() *EventLog {
+	merged := &EventLog{events: make([]Event, 0, s.Len())}
+	// Concatenating in node order and stable-sorting by At yields exactly
+	// the (At, Node, per-node order) merge: ties keep concatenation order.
+	for _, l := range s.logs {
+		merged.events = append(merged.events, l.events...)
+	}
+	sort.SliceStable(merged.events, func(i, j int) bool {
+		return merged.events[i].At < merged.events[j].At
+	})
+	return merged
+}

@@ -16,4 +16,14 @@ go test ./...
 echo '== go test -race ./...'
 go test -race ./...
 
+# Sharded-engine determinism: the same workloads must produce
+# bit-identical traces and experiment results on 1 and N shards, with
+# the shard workers packed onto one OS thread and spread across four.
+echo '== shard determinism (-cpu 1,4)'
+go test ./internal/simtest -run TestShardInvariantTraceHash -cpu 1,4 -count 1
+go test ./internal/experiments -run TestExperimentsShardInvariant -cpu 1,4 -count 1
+
+echo '== tgchaos 2-shard smoke'
+go run ./cmd/tgchaos -seeds 10 -shards 2
+
 echo 'tier-1: all checks passed'
