@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race chaos bench fuzz
+.PHONY: check build vet test race chaos litmus bench fuzz
 
 # Tier-1 verify: build + vet + tests + race detector.
 check:
@@ -24,6 +24,11 @@ START ?= 0
 chaos:
 	$(GO) run ./cmd/tgchaos -seeds $(SEEDS) -start $(START)
 
+# Litmus-test sweep: the full protocol x shards x faults x variant
+# matrix (memory-model conformance; `make check` runs the quick subset).
+litmus:
+	$(GO) run ./cmd/tglitmus
+
 # Full evaluation: the paper experiments, then the PDES node×shard
 # scaling sweep (writes BENCH_pdes.json; see EXPERIMENTS.md).
 bench:
@@ -34,3 +39,5 @@ bench:
 fuzz:
 	$(GO) test ./internal/packet -fuzz FuzzEncodeDecode -fuzztime 10s
 	$(GO) test ./internal/addrspace -fuzz FuzzAddrRoundTrips -fuzztime 10s
+	$(GO) test ./internal/linearize -fuzz FuzzLinearize -fuzztime 15s
+	$(GO) test ./internal/consistency -fuzz FuzzCoherent -fuzztime 15s

@@ -158,7 +158,7 @@ func (m *InvalidateMgr) fetchPage(p *sim.Proc, pn addrspace.PageNum, dir *invDir
 		Origin: m.node,
 		Len:    uint32(words),
 	})
-	m.h.Fence(p)
+	m.h.WaitOutstanding(p)
 	m.valid[pn] = true
 	dir.holders[m.node] = true
 }
@@ -191,7 +191,7 @@ func (m *InvalidateMgr) acquireExclusive(p *sim.Proc, pn addrspace.PageNum, dir 
 			Addr: addrspace.NewGAddr(holder, base),
 		})
 	}
-	m.h.Fence(p) // wait for all InvAcks
+	m.h.WaitOutstanding(p) // wait for all InvAcks
 	dir.holders = map[addrspace.NodeID]bool{m.node: true}
 	dir.last = m.node
 	m.valid[pn] = true

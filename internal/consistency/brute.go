@@ -1,0 +1,62 @@
+package consistency
+
+// BruteMaxVals caps the union of distinct values BruteCheckCoherent will
+// enumerate permutations over (8! = 40320 candidate orders).
+const BruteMaxVals = 8
+
+// BruteCheckCoherent is the reference oracle for CheckCoherent: it
+// literally enumerates every total order of the observed values and
+// reports whether some order contains each node's history as a
+// subsequence. Exponential and only usable for tiny histories — it
+// exists to cross-check the constraint-graph checker (FuzzCoherent), not
+// for production use. Panics if the value universe exceeds BruteMaxVals.
+func BruteCheckCoherent(histories map[string][]uint64) bool {
+	seen := make(map[uint64]bool)
+	var vals []uint64
+	for _, h := range histories {
+		for _, v := range h {
+			if !seen[v] {
+				seen[v] = true
+				vals = append(vals, v)
+			}
+		}
+	}
+	if len(vals) > BruteMaxVals {
+		panic("consistency: BruteCheckCoherent history too large")
+	}
+	order := make([]uint64, 0, len(vals))
+	return permuteOrders(vals, order, histories)
+}
+
+// permuteOrders tries every arrangement of rest appended to order.
+func permuteOrders(rest, order []uint64, histories map[string][]uint64) bool {
+	if len(rest) == 0 {
+		for _, h := range histories {
+			if !isSubsequence(h, order) {
+				return false
+			}
+		}
+		return true
+	}
+	for i := range rest {
+		rest[0], rest[i] = rest[i], rest[0]
+		if permuteOrders(rest[1:], append(order, rest[0]), histories) {
+			rest[0], rest[i] = rest[i], rest[0]
+			return true
+		}
+		rest[0], rest[i] = rest[i], rest[0]
+	}
+	return false
+}
+
+// isSubsequence reports whether h embeds in order, in order, using each
+// position at most once.
+func isSubsequence(h, order []uint64) bool {
+	i := 0
+	for _, v := range order {
+		if i < len(h) && h[i] == v {
+			i++
+		}
+	}
+	return i == len(h)
+}

@@ -102,3 +102,55 @@ func TestConvergence(t *testing.T) {
 		t.Fatal("empty finals should pass")
 	}
 }
+
+func TestEmptyHistories(t *testing.T) {
+	if err := CheckCoherent(nil); err != nil {
+		t.Fatalf("nil histories: %v", err)
+	}
+	if err := CheckCoherent(map[string][]uint64{}); err != nil {
+		t.Fatalf("empty map: %v", err)
+	}
+	if err := CheckCoherent(map[string][]uint64{"a": nil, "b": {}}); err != nil {
+		t.Fatalf("empty per-node histories: %v", err)
+	}
+	if err := CheckConvergence(nil); err != nil {
+		t.Fatalf("empty finals: %v", err)
+	}
+}
+
+func TestSingleNodeAlwaysCoherent(t *testing.T) {
+	// One observer imposes no cross-node constraints: any duplicate-free
+	// sequence is trivially a total order of itself.
+	if err := CheckCoherent(map[string][]uint64{"a": {5, 3, 9, 1}}); err != nil {
+		t.Fatalf("single node: %v", err)
+	}
+	// ... but a within-history duplicate is still the A...A shape.
+	if err := CheckCoherent(map[string][]uint64{"a": {5, 3, 5}}); err == nil {
+		t.Fatal("single-node A...A not caught")
+	}
+}
+
+func TestInterleavedDuplicatesAcrossNodes(t *testing.T) {
+	// The same value at different NODES is normal (every replica applies
+	// every write once); only a repeat within one node's history is a
+	// violation.
+	ok := map[string][]uint64{
+		"a": {1, 2, 3},
+		"b": {1, 2, 3},
+		"c": {2, 3},
+	}
+	if err := CheckCoherent(ok); err != nil {
+		t.Fatalf("cross-node duplicates flagged: %v", err)
+	}
+	bad := map[string][]uint64{
+		"a": {1, 2, 3},
+		"b": {1, 2, 1, 3},
+	}
+	err := CheckCoherent(bad)
+	if err == nil {
+		t.Fatal("interleaved within-node duplicate not caught")
+	}
+	if v := err.(*Violation); v.Kind != "duplicate-apply" {
+		t.Fatalf("kind = %q, want duplicate-apply", v.Kind)
+	}
+}

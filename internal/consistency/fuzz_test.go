@@ -1,0 +1,70 @@
+package consistency
+
+import (
+	"fmt"
+	"testing"
+)
+
+// decodeHistories turns fuzz bytes into up to 3 node histories over a
+// value universe of 1..5, each history at most 6 long. Small enough for
+// the brute-force oracle, rich enough to cover duplicate-apply shapes,
+// 2- and 3-cycles, and every subsequence pattern.
+func decodeHistories(data []byte) map[string][]uint64 {
+	histories := make(map[string][]uint64)
+	node, length := 0, 0
+	for _, b := range data {
+		if node >= 3 {
+			break
+		}
+		if b&0x80 != 0 || length >= 6 {
+			node++
+			length = 0
+			continue
+		}
+		who := fmt.Sprintf("node%d", node)
+		histories[who] = append(histories[who], uint64(b%5)+1)
+		length++
+	}
+	return histories
+}
+
+// FuzzCoherent cross-checks the constraint-graph checker against the
+// permutation-enumerating oracle on every generated history set.
+func FuzzCoherent(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 0x80, 1, 3})                // subsequence: fine
+	f.Add([]byte{1, 2, 0x80, 2, 1})                   // 2-cycle
+	f.Add([]byte{1, 2, 1})                            // duplicate apply (A...A)
+	f.Add([]byte{1, 2, 0x80, 2, 3, 0x80, 3, 1})       // 3-cycle across nodes
+	f.Add([]byte{4, 3, 2, 1, 0x80, 4, 2, 0x80, 3, 1}) // consistent interleavings
+	f.Fuzz(func(t *testing.T, data []byte) {
+		histories := decodeHistories(data)
+		got := CheckCoherent(histories) == nil
+		want := BruteCheckCoherent(histories)
+		if got != want {
+			t.Fatalf("CheckCoherent=%v but brute-force=%v for %v", got, want, histories)
+		}
+	})
+}
+
+// TestBruteAgainstKnownShapes pins the oracle itself before trusting it
+// as a cross-check.
+func TestBruteAgainstKnownShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		h    map[string][]uint64
+		want bool
+	}{
+		{"empty", map[string][]uint64{}, true},
+		{"single", map[string][]uint64{"a": {1, 2, 3}}, true},
+		{"subsequences", map[string][]uint64{"a": {1, 2, 3}, "b": {1, 3}, "c": {2, 3}}, true},
+		{"two-cycle", map[string][]uint64{"a": {1, 2}, "b": {2, 1}}, false},
+		{"aba", map[string][]uint64{"a": {1, 2, 1}}, false},
+		{"three-cycle", map[string][]uint64{"a": {1, 2}, "b": {2, 3}, "c": {3, 1}}, false},
+	}
+	for _, tc := range cases {
+		if got := BruteCheckCoherent(tc.h); got != tc.want {
+			t.Errorf("%s: brute = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}

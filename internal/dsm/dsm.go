@@ -26,6 +26,7 @@ import (
 	"telegraphos/internal/msg"
 	"telegraphos/internal/sim"
 	"telegraphos/internal/stats"
+	"telegraphos/internal/trace"
 )
 
 // Port is the well-known service port of DSM managers.
@@ -74,14 +75,16 @@ type dir struct {
 type nodeState struct {
 	// mapped[pn] records the local mapping mode: 0 none, 1 RO, 2 RW.
 	mapped map[addrspace.PageNum]int
+	// pageSeq numbers this node's BOpPageIn boundary events.
+	pageSeq uint64
 }
 
 // New installs the DSM runtime: a fault handler on every node and a
 // manager service on every node (for the pages it homes).
 func New(c *core.Cluster, sys *msg.System) *DSM {
 	d := &DSM{
-		c:        c,
-		sys:      sys,
+		c:    c,
+		sys:  sys,
 		dirs: make(map[addrspace.PageNum]*dir),
 	}
 	for i, n := range c.Nodes {
@@ -158,27 +161,50 @@ func (d *DSM) handleFault(p *sim.Proc, i int, f *mmu.Fault) bool {
 	}
 	home := d.c.HomeOf(off)
 	st := d.node[i].mapped[pn]
+	gpage := uint64(addrspace.NewGAddr(home, addrspace.PageBase(pn, ps)))
 	switch {
 	case f.Access == mmu.AccessRead && st == 0:
 		d.counters[i].Inc("read-faults")
+		seq := d.pageInInvoke(i, gpage, uint64(mmu.AccessRead))
 		content := d.sys.Call(p, addrspace.NodeID(i), home, Port, []uint64{opRead, uint64(pn)})
 		d.installPage(p, i, pn, content, 1)
+		d.pageInReturn(i, gpage, seq)
 	case f.Access == mmu.AccessWrite:
 		d.counters[i].Inc("write-faults")
 		has := uint64(0)
 		if st == 1 {
 			has = 1
 		}
+		seq := d.pageInInvoke(i, gpage, uint64(mmu.AccessWrite))
 		content := d.sys.Call(p, addrspace.NodeID(i), home, Port, []uint64{opWrite, uint64(pn), has})
 		if has == 1 {
 			d.mapPage(i, pn, 2)
 		} else {
 			d.installPage(p, i, pn, content, 2)
 		}
+		d.pageInReturn(i, gpage, seq)
 	default:
 		return false
 	}
 	return true
+}
+
+// pageInInvoke records the start of a fault-driven page transfer as a
+// BOpPageIn boundary event in the node's canonical trace (the HIB's
+// recorder — the board is not on the DSM data path, but its log is the
+// node's event stream). The history builder treats page-ins as
+// observability-only; they never enter the linearizability search.
+func (d *DSM) pageInInvoke(i int, gpage, access uint64) uint64 {
+	ns := d.node[i]
+	ns.pageSeq++
+	seq := ns.pageSeq
+	d.c.Nodes[i].HIB.Emit(trace.EvOpInvoke, gpage, access, trace.BoundaryAux(trace.BOpPageIn, seq))
+	return seq
+}
+
+// pageInReturn records the completion of a fault-driven page transfer.
+func (d *DSM) pageInReturn(i int, gpage, seq uint64) {
+	d.c.Nodes[i].HIB.Emit(trace.EvOpReturn, gpage, 0, trace.BoundaryAux(trace.BOpPageIn, seq))
 }
 
 // installPage writes fetched content into the local frame and maps it.

@@ -5,9 +5,11 @@ import (
 
 	"telegraphos/internal/core"
 	"telegraphos/internal/cpu"
+	"telegraphos/internal/linearize"
 	"telegraphos/internal/msg"
 	"telegraphos/internal/params"
 	"telegraphos/internal/sim"
+	"telegraphos/internal/trace"
 )
 
 func setup(n int) (*core.Cluster, *DSM) {
@@ -185,5 +187,54 @@ func TestNonSharedFaultStaysFatal(t *testing.T) {
 	})
 	if err := c.Run(); err == nil {
 		t.Fatal("wild access should abort the program")
+	}
+}
+
+// TestPageInBoundaryEvents checks that fault-driven page transfers show
+// up in the canonical trace as paired BOpPageIn invoke/return events and
+// that the history builder keeps them out of the linearizable history.
+func TestPageInBoundaryEvents(t *testing.T) {
+	c, d := setup(2)
+	slog := trace.NewShardedLog(2)
+	for i, n := range c.Nodes {
+		n.HIB.SetRecorder(slog.Recorder(i))
+	}
+	x := c.AllocShared(0, 8)
+	c.Nodes[0].Mem.WriteWord(c.SharedOffset(x), 5)
+	d.SharePage(x)
+	c.Spawn(1, "rw", func(ctx *cpu.Ctx) {
+		ctx.Load(x)     // read fault: fetch a read-only copy
+		ctx.Store(x, 9) // write fault: upgrade to exclusive
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	events := slog.Merge().Events()
+	invokes, returns := 0, 0
+	for _, e := range events {
+		if e.Kind != trace.EvOpInvoke && e.Kind != trace.EvOpReturn {
+			continue
+		}
+		op, _ := trace.SplitBoundaryAux(e.Aux)
+		if op != trace.BOpPageIn {
+			continue
+		}
+		if e.Node != 1 {
+			t.Fatalf("page-in event on node %d, want 1", e.Node)
+		}
+		if e.Kind == trace.EvOpInvoke {
+			invokes++
+		} else {
+			returns++
+		}
+	}
+	if invokes != 2 || returns != 2 {
+		t.Fatalf("page-in events: %d invokes, %d returns, want 2/2 (read + write fault)", invokes, returns)
+	}
+	// The page transfers are observability-only: the reconstructed
+	// history contains no operation for them.
+	h := linearize.FromTrace(events)
+	if n := len(h.Ops); n != 0 {
+		t.Fatalf("history has %d ops from DSM traffic, want 0 (DSM bypasses the HIB op boundary)", n)
 	}
 }

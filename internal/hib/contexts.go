@@ -8,6 +8,7 @@ import (
 	"telegraphos/internal/osmodel"
 	"telegraphos/internal/packet"
 	"telegraphos/internal/sim"
+	"telegraphos/internal/trace"
 )
 
 // Telegraphos contexts (§2.2.4, Telegraphos II launch mechanism).
@@ -217,9 +218,17 @@ func (h *HIB) launchAtomic(p *sim.Proc, id int) uint64 {
 	h.Counters.Inc("launch-atomic")
 	g := c.addr[0]
 	c.addrOK[0] = false // the launch consumes the address argument
+	bop := boundaryOpOf(c.op)
+	seq := h.invokeOp(bop, g, c.operand1)
+	if c.op == packet.CompareAndSwap {
+		h.Emit(trace.EvOpArg, uint64(g), c.operand2, trace.BoundaryAux(bop, seq))
+	}
 	if g.Node() == h.node {
 		p.Sleep(h.timing.MPMRead + h.timing.MPMWrite)
-		return h.applyAtomic(c.op, g.Offset(), c.operand1, c.operand2)
+		old := h.applyAtomic(c.op, g.Offset(), c.operand1, c.operand2)
+		h.Emit(trace.EvAtomicApply, uint64(g), c.operand1, uint64(h.node))
+		h.returnOp(bop, seq, g, old)
+		return old
 	}
 	h.nextReqID++
 	rid := h.nextReqID
@@ -235,7 +244,21 @@ func (h *HIB) launchAtomic(p *sim.Proc, id int) uint64 {
 		Op:    c.op,
 		ReqID: rid,
 	})
-	return fut.Wait(p)
+	old := fut.Wait(p)
+	h.returnOp(bop, seq, g, old)
+	return old
+}
+
+// boundaryOpOf maps a packet-level atomic opcode onto its boundary op.
+func boundaryOpOf(op packet.AtomicOp) trace.BoundaryOp {
+	switch op {
+	case packet.FetchAndInc:
+		return trace.BOpFetchInc
+	case packet.CompareAndSwap:
+		return trace.BOpCompareSwap
+	default:
+		return trace.BOpFetchStore
+	}
 }
 
 // launchCopy fires context id's remote copy: operand1 words from the

@@ -6,6 +6,7 @@ import (
 	"telegraphos/internal/packet"
 	"telegraphos/internal/params"
 	"telegraphos/internal/sim"
+	"telegraphos/internal/trace"
 )
 
 // CPUWrite performs a store issued by the local CPU to an I/O-space
@@ -65,21 +66,27 @@ func (h *HIB) CPURead(p *sim.Proc, pa addrspace.PAddr) uint64 {
 // plain (cacheable) main-memory store that the HIB observes.
 func (h *HIB) localSharedWrite(p *sim.Proc, offset uint64, v uint64) {
 	h.Counters.Inc("local-shared-write")
+	g := addrspace.NewGAddr(h.node, offset)
+	seq := h.invokeOp(trace.BOpWrite, g, v)
 	if h.placement == params.SharedOnHIB {
 		h.bus.Transact(p, h.timing.TCWriteLatch)
 	} else {
 		p.Sleep(h.timing.LocalMemWrit)
 	}
 	if h.coherence != nil && h.coherence.LocalSharedWrite(p, offset, v) {
+		h.returnOp(trace.BOpWrite, seq, g, 0)
 		return
 	}
 	h.mem.WriteWord(offset, v)
 	h.fanoutMulticast(p, offset, v)
+	h.returnOp(trace.BOpWrite, seq, g, 0)
 }
 
 // localSharedRead loads from this node's shared region.
 func (h *HIB) localSharedRead(p *sim.Proc, offset uint64) uint64 {
 	h.Counters.Inc("local-shared-read")
+	g := addrspace.NewGAddr(h.node, offset)
+	seq := h.invokeOp(trace.BOpRead, g, 0)
 	if h.placement == params.SharedOnHIB {
 		// One programmed-I/O read transaction against the board memory.
 		h.bus.Transact(p, h.timing.TCReadSetup)
@@ -87,12 +94,17 @@ func (h *HIB) localSharedRead(p *sim.Proc, offset uint64) uint64 {
 	} else {
 		p.Sleep(h.timing.LocalMemRead)
 	}
+	var v uint64
 	if h.coherence != nil {
-		if v, handled := h.coherence.LocalSharedRead(p, offset); handled {
+		if cv, handled := h.coherence.LocalSharedRead(p, offset); handled {
+			v = cv
+			h.returnOp(trace.BOpRead, seq, g, v)
 			return v
 		}
 	}
-	return h.mem.ReadWord(offset)
+	v = h.mem.ReadWord(offset)
+	h.returnOp(trace.BOpRead, seq, g, v)
+	return v
 }
 
 // remoteWrite latches the store and queues a WriteReq; the CPU continues
@@ -100,6 +112,10 @@ func (h *HIB) localSharedRead(p *sim.Proc, offset uint64) uint64 {
 func (h *HIB) remoteWrite(p *sim.Proc, pa addrspace.PAddr, v uint64) {
 	h.Counters.Inc("remote-write")
 	g, _ := addrspace.GAddrOfPA(h.node, pa)
+	// The boundary return marks the latch, not the effect: the history
+	// builder pairs this invoke with the write's apply event at the home
+	// node (the store is non-blocking, §2.2.1).
+	seq := h.invokeOp(trace.BOpWrite, g, v)
 	h.countAccess(addrspace.GPageOf(g, h.mem.PageSize()), true)
 	h.bus.Transact(p, h.timing.TCWriteLatch)
 	h.AddOutstanding(1)
@@ -110,6 +126,7 @@ func (h *HIB) remoteWrite(p *sim.Proc, pa addrspace.PAddr, v uint64) {
 		Addr: g,
 		Val:  v,
 	})
+	h.returnOp(trace.BOpWrite, seq, g, 0)
 }
 
 // remoteRead issues a ReadReq and blocks until the reply arrives. At most
@@ -118,6 +135,7 @@ func (h *HIB) remoteWrite(p *sim.Proc, pa addrspace.PAddr, v uint64) {
 func (h *HIB) remoteRead(p *sim.Proc, pa addrspace.PAddr) uint64 {
 	h.Counters.Inc("remote-read")
 	g, _ := addrspace.GAddrOfPA(h.node, pa)
+	seq := h.invokeOp(trace.BOpRead, g, 0)
 	h.countAccess(addrspace.GPageOf(g, h.mem.PageSize()), false)
 	h.readSlots.Acquire(p)
 	h.bus.Transact(p, h.timing.TCReadSetup)
@@ -136,6 +154,7 @@ func (h *HIB) remoteRead(p *sim.Proc, pa addrspace.PAddr) uint64 {
 	v := fut.Wait(p)
 	h.bus.Transact(p, h.timing.TCReadReply)
 	h.readSlots.Release()
+	h.returnOp(trace.BOpRead, seq, g, v)
 	return v
 }
 

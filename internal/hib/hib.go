@@ -78,6 +78,8 @@ type HIB struct {
 	nextReqID    uint64
 	pendingReads map[uint64]*sim.Future[uint64]
 
+	opSeq uint64 // boundary-event sequence (pairs invoke/return)
+
 	contexts     []tgContext
 	pageCounters map[addrspace.GPage]*pageCounter
 	multicast    map[addrspace.PageNum][]addrspace.GPage
@@ -144,6 +146,22 @@ func (h *HIB) Emit(kind trace.EventKind, addr, val, aux uint64) {
 		return
 	}
 	h.recorder(trace.Event{At: int64(h.eng.Now()), Node: int(h.node), Kind: kind, Addr: addr, Val: val, Aux: aux})
+}
+
+// invokeOp records a program-level operation crossing the board (the HIB
+// op boundary) and returns the sequence number that pairs the matching
+// returnOp. The invoke/return intervals feed the linearizability and
+// fence-order checkers (internal/linearize).
+func (h *HIB) invokeOp(op trace.BoundaryOp, addr addrspace.GAddr, arg uint64) uint64 {
+	h.opSeq++
+	seq := h.opSeq
+	h.Emit(trace.EvOpInvoke, uint64(addr), arg, trace.BoundaryAux(op, seq))
+	return seq
+}
+
+// returnOp closes the boundary interval opened by invokeOp.
+func (h *HIB) returnOp(op trace.BoundaryOp, seq uint64, addr addrspace.GAddr, ret uint64) {
+	h.Emit(trace.EvOpReturn, uint64(addr), ret, trace.BoundaryAux(op, seq))
 }
 
 // Outstanding reports the current count of outstanding remote operations.
@@ -216,14 +234,26 @@ func (h *HIB) AddOutstanding(delta int) {
 }
 
 // Fence blocks p until every outstanding remote operation issued by this
-// node has completed (§2.3.5 MEMORY_BARRIER).
+// node has completed (§2.3.5 MEMORY_BARRIER). Only the CPU-facing fence
+// emits the EvFenceStart/EvFenceEnd boundary events the history checker
+// consumes; coherence protocols draining their own traffic use
+// WaitOutstanding so internal waits are not mistaken for programmer
+// barriers.
 func (h *HIB) Fence(p *sim.Proc) {
 	h.Counters.Inc("fence")
 	h.Emit(trace.EvFenceStart, 0, uint64(h.outstanding), 0)
+	h.WaitOutstanding(p)
+	// Val records the outstanding count at completion: zero in a correct
+	// board, asserted by the fence checker (linearize.CheckFences).
+	h.Emit(trace.EvFenceEnd, 0, uint64(h.outstanding), 0)
+}
+
+// WaitOutstanding blocks p until the outstanding-operation counter
+// drains to zero, without recording a memory-barrier boundary event.
+func (h *HIB) WaitOutstanding(p *sim.Proc) {
 	if h.outstanding != 0 {
 		c := sim.NewCompletion(h.eng)
 		h.fenceWaiters = append(h.fenceWaiters, c)
 		c.Wait(p)
 	}
-	h.Emit(trace.EvFenceEnd, 0, 0, 0)
 }

@@ -1,0 +1,53 @@
+package linearize
+
+import (
+	"fmt"
+	"testing"
+)
+
+// syntheticHistory builds a mostly-sequential n-op multi-process history
+// over nlocs words — the shape real traces have (contention bursts over
+// long sequential runs), which is where the memoized search must stay
+// near-linear.
+func syntheticHistory(n, procs, nlocs int) *History {
+	h := &History{}
+	state := make(map[uint64]uint64)
+	clock := int64(0)
+	for i := 0; i < n; i++ {
+		p := i % procs
+		loc := uint64(8 * (i % nlocs))
+		var o Op
+		switch i % 5 {
+		case 0, 3:
+			o = Op{Proc: p, Kind: Write, Loc: loc, Arg: uint64(i), Inv: clock, Res: clock + 3}
+			state[loc] = uint64(i)
+		case 1, 4:
+			o = Op{Proc: p, Kind: Read, Loc: loc, Ret: state[loc], Inv: clock, Res: clock + 2}
+		case 2:
+			o = Op{Proc: p, Kind: FetchInc, Loc: loc, Ret: state[loc], Inv: clock, Res: clock + 4}
+			state[loc]++
+		}
+		// Overlap every third op with its predecessor to keep the search
+		// honest (some genuine concurrency at every scale).
+		if i%3 == 0 && clock > 0 {
+			o.Inv = clock - 2
+		}
+		clock += 2
+		h.Ops = append(h.Ops, o)
+	}
+	return h
+}
+
+func BenchmarkLinearize(b *testing.B) {
+	for _, size := range []int{64, 256, 1024} {
+		h := syntheticHistory(size, 4, 4)
+		b.Run(fmt.Sprintf("ops=%d", size), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := Check(h); err != nil {
+					b.Fatalf("benchmark history rejected: %v", err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,91 @@
+package linearize
+
+import "sort"
+
+// BruteMaxOps bounds the history size BruteCheckLoc accepts: beyond it the
+// subset × permutation enumeration is unreasonable.
+const BruteMaxOps = 8
+
+// BruteCheckLoc is the reference linearizability decision for one
+// location's sub-history: enumerate every subset of the pending
+// operations to include, every permutation of the chosen operations,
+// and accept iff some permutation respects the real-time order (a
+// complete operation's response before another's invocation forces
+// their order) and is legal for the single-word object model from init.
+//
+// It shares no search machinery with CheckLoc — it exists to cross-check
+// it (FuzzLinearize) — and panics beyond BruteMaxOps.
+func BruteCheckLoc(ops []Op, init uint64) bool {
+	if len(ops) > BruteMaxOps {
+		panic("linearize: BruteCheckLoc history too large")
+	}
+	if len(ops) == 0 {
+		return true
+	}
+	sorted := make([]Op, len(ops))
+	copy(sorted, ops)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].Inv != sorted[j].Inv {
+			return sorted[i].Inv < sorted[j].Inv
+		}
+		return sorted[i].Proc < sorted[j].Proc
+	})
+
+	var pending, complete []Op
+	for _, o := range sorted {
+		if o.Pending {
+			pending = append(pending, o)
+		} else {
+			complete = append(complete, o)
+		}
+	}
+	for mask := 0; mask < 1<<len(pending); mask++ {
+		chosen := append([]Op(nil), complete...)
+		for i, o := range pending {
+			if mask&(1<<i) != 0 {
+				chosen = append(chosen, o)
+			}
+		}
+		if permuteLegal(chosen, init) {
+			return true
+		}
+	}
+	return false
+}
+
+// permuteLegal tries every order of rest appended to the prefix already
+// consumed (state is the word after the prefix), pruning orders that
+// violate real-time precedence or return-value legality as they grow.
+func permuteLegal(rest []Op, state uint64) bool {
+	if len(rest) == 0 {
+		return true
+	}
+	for i, o := range rest {
+		// Real-time order: every complete op whose response precedes o's
+		// invocation must already be placed.
+		ok := true
+		for j, p := range rest {
+			if j == i {
+				continue
+			}
+			if !p.Pending && p.Res < o.Inv {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		next, legal := apply(o, state)
+		if !legal {
+			continue
+		}
+		remaining := make([]Op, 0, len(rest)-1)
+		remaining = append(remaining, rest[:i]...)
+		remaining = append(remaining, rest[i+1:]...)
+		if permuteLegal(remaining, next) {
+			return true
+		}
+	}
+	return false
+}

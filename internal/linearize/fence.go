@@ -1,0 +1,86 @@
+package linearize
+
+import "fmt"
+
+// CheckFences validates the MEMORY_BARRIER ordering contract (§2.3.5)
+// over a history: a FENCE completes only after every remote operation its
+// issuer started before it has taken effect. Three properties are
+// asserted per fence f issued by process P:
+//
+//  1. The board's outstanding-operation counter was zero when f
+//     completed (Op.Arg carries the count the trace recorded).
+//  2. Every write P invoked before f took effect no later than f's
+//     completion — a pre-fence write that is still Pending, or whose
+//     effect lands after f returns, escaped the barrier.
+//  3. No operation P invoked after f completed takes effect before a
+//     pre-fence write of P does (the ordering the barrier exists to
+//     provide, checked pairwise from the recorded times rather than
+//     inferred from properties 1–2).
+//
+// Fences pair with operations of the same process only: the barrier
+// orders the issuer's own operations, not other nodes' (a node cannot
+// fence traffic it did not create).
+func CheckFences(h *History) error {
+	// Partition by process, preserving history (invocation) order.
+	byProc := make(map[int][]Op)
+	procs := []int{}
+	for _, o := range h.Ops {
+		if _, ok := byProc[o.Proc]; !ok {
+			procs = append(procs, o.Proc)
+		}
+		byProc[o.Proc] = append(byProc[o.Proc], o)
+	}
+	for i := 1; i < len(procs); i++ {
+		for j := i; j > 0 && procs[j] < procs[j-1]; j-- {
+			procs[j], procs[j-1] = procs[j-1], procs[j]
+		}
+	}
+
+	for _, p := range procs {
+		ops := byProc[p]
+		for fi, f := range ops {
+			if f.Kind != Fence || f.Pending {
+				continue
+			}
+			if f.Arg != 0 {
+				return &Violation{Kind: "fence", Detail: fmt.Sprintf(
+					"p%d fence completed at %d with outstanding-operation counter %d (must drain to zero)",
+					p, f.Res, f.Arg)}
+			}
+			// Latest pre-fence write effect.
+			preMax := int64(-1 << 62)
+			var preOp Op
+			for _, o := range ops[:fi] {
+				if o.Kind != Write {
+					continue
+				}
+				if o.Pending {
+					return &Violation{Kind: "fence", Detail: fmt.Sprintf(
+						"p%d fence completed at %d but pre-fence %v never took effect",
+						p, f.Res, o)}
+				}
+				if o.Res > preMax {
+					preMax, preOp = o.Res, o
+				}
+			}
+			if preMax > f.Res {
+				return &Violation{Kind: "fence", Detail: fmt.Sprintf(
+					"p%d fence completed at %d before pre-fence %v took effect",
+					p, f.Res, preOp)}
+			}
+			// Post-fence operations must not take effect before any
+			// pre-fence write.
+			for _, o := range ops[fi+1:] {
+				if o.Kind == Fence || o.Pending {
+					continue
+				}
+				if o.Res < preMax {
+					return &Violation{Kind: "fence", Detail: fmt.Sprintf(
+						"p%d post-fence %v took effect before pre-fence %v (fence at %d)",
+						p, o, preOp, f.Res)}
+				}
+			}
+		}
+	}
+	return nil
+}

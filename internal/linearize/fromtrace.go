@@ -1,0 +1,178 @@
+package linearize
+
+import (
+	"telegraphos/internal/addrspace"
+	"telegraphos/internal/trace"
+)
+
+// FromTrace reconstructs an operation history from a merged event stream
+// (trace.ShardedLog.Merge order: ascending time, per-node order intact).
+//
+// Boundary events pair by (node, sequence): EvOpInvoke opens an interval,
+// EvOpReturn closes it, EvOpArg attaches the compare&swap comparand.
+// Blocking operations — reads, atomics — are done at their return. A
+// remote write is not: the HIB releases the CPU at the latch (the
+// return event) while the store is still in flight, so its interval is
+// stretched to the matching effect event — the EvWriteApply at the home
+// node (plain region) or the EvUpdateSerialize at the page owner
+// (coherent region), matched by (address, value, origin) and consumed in
+// invocation order. A local write's return is its effect. A remote write
+// whose effect never appears in the stream stays Pending.
+//
+// EvFenceStart/EvFenceEnd pairs become Fence ops (one at a time per
+// node — the CPU blocks inside MEMORY_BARRIER), with Arg recording the
+// outstanding-operation count the board saw at completion.
+//
+// BOpPageIn boundary events (DSM page transfers) are observability-only
+// and are not part of the object model; they are skipped.
+func FromTrace(events []trace.Event) *History {
+	type pairKey struct {
+		node int
+		seq  uint64
+	}
+	type effectKey struct {
+		addr   uint64 // full GAddr (apply) or bare offset (serialize)
+		val    uint64
+		origin int
+	}
+	type rec struct {
+		op       Op
+		retSeen  bool
+		effSeen  bool
+		retAt    int64
+		effAt    int64
+		needsEff bool // remote write: return alone does not complete it
+		coherent bool // matched by an EvUpdateSerialize
+	}
+
+	var recs []*rec
+	open := make(map[pairKey]*rec)
+	// FIFO queues of open writes awaiting their effect event.
+	applyQ := make(map[effectKey][]*rec)     // plain remote writes → EvWriteApply
+	serializeQ := make(map[effectKey][]*rec) // coherent writes → EvUpdateSerialize
+	fenceOpen := make(map[int]int)           // node → index into recs of open fence
+
+	h := &History{}
+	pop := func(q map[effectKey][]*rec, k effectKey) *rec {
+		for len(q[k]) > 0 {
+			r := q[k][0]
+			q[k] = q[k][1:]
+			if !r.effSeen {
+				return r
+			}
+		}
+		return nil
+	}
+
+	for _, e := range events {
+		switch e.Kind {
+		case trace.EvOpInvoke:
+			bop, seq := trace.SplitBoundaryAux(e.Aux)
+			if bop == trace.BOpPageIn {
+				continue
+			}
+			g := addrspace.GAddr(e.Addr)
+			r := &rec{op: Op{
+				Proc: e.Node,
+				Kind: kindOfBoundary(bop),
+				Loc:  e.Addr,
+				Arg:  e.Val,
+				Inv:  e.At,
+			}}
+			if bop == trace.BOpWrite {
+				ek := effectKey{addr: e.Addr, val: e.Val, origin: e.Node}
+				applyQ[ek] = append(applyQ[ek], r)
+				sk := effectKey{addr: g.Offset(), val: e.Val, origin: e.Node}
+				serializeQ[sk] = append(serializeQ[sk], r)
+				// A write homed elsewhere is non-blocking: its return is the
+				// latch, not the effect.
+				r.needsEff = int(g.Node()) != e.Node
+			}
+			recs = append(recs, r)
+			open[pairKey{e.Node, seq}] = r
+
+		case trace.EvOpArg:
+			_, seq := trace.SplitBoundaryAux(e.Aux)
+			if r := open[pairKey{e.Node, seq}]; r != nil {
+				r.op.Arg2 = e.Val
+			}
+
+		case trace.EvOpReturn:
+			bop, seq := trace.SplitBoundaryAux(e.Aux)
+			if bop == trace.BOpPageIn {
+				continue
+			}
+			k := pairKey{e.Node, seq}
+			if r := open[k]; r != nil {
+				r.retSeen = true
+				r.retAt = e.At
+				r.op.Ret = e.Val
+				delete(open, k)
+			}
+
+		case trace.EvWriteApply:
+			if r := pop(applyQ, effectKey{addr: e.Addr, val: e.Val, origin: int(e.Aux)}); r != nil {
+				r.effSeen = true
+				r.effAt = e.At
+			}
+
+		case trace.EvUpdateSerialize:
+			if r := pop(serializeQ, effectKey{addr: e.Addr, val: e.Val, origin: int(e.Aux)}); r != nil {
+				r.effSeen = true
+				r.effAt = e.At
+				r.coherent = true
+			}
+
+		case trace.EvFenceStart:
+			recs = append(recs, &rec{op: Op{
+				Proc: e.Node,
+				Kind: Fence,
+				Inv:  e.At,
+			}})
+			fenceOpen[e.Node] = len(recs) - 1
+
+		case trace.EvFenceEnd:
+			if i, ok := fenceOpen[e.Node]; ok {
+				recs[i].retSeen = true
+				recs[i].retAt = e.At
+				recs[i].op.Arg = e.Val // outstanding count at completion
+				delete(fenceOpen, e.Node)
+			}
+		}
+	}
+
+	for _, r := range recs {
+		o := r.op
+		switch {
+		case r.effSeen:
+			o.Res = r.effAt
+			if r.retSeen && r.retAt > o.Res {
+				o.Res = r.retAt
+			}
+		case r.retSeen && !r.needsEff:
+			o.Res = r.retAt
+		default:
+			o.Pending = true
+		}
+		h.Ops = append(h.Ops, o)
+	}
+	return h
+}
+
+// kindOfBoundary maps a trace boundary op onto the history's object model.
+func kindOfBoundary(b trace.BoundaryOp) Kind {
+	switch b {
+	case trace.BOpRead:
+		return Read
+	case trace.BOpWrite:
+		return Write
+	case trace.BOpFetchInc:
+		return FetchInc
+	case trace.BOpFetchStore:
+		return FetchStore
+	case trace.BOpCompareSwap:
+		return CompareSwap
+	default:
+		return Read
+	}
+}

@@ -1,0 +1,87 @@
+package linearize
+
+import (
+	"testing"
+)
+
+// decodeHistory turns raw fuzz bytes into a small single-location
+// history: each op consumes 4 bytes (kind/proc, arg, ret, interval
+// shape). Intervals are laid on a deterministic clock so the decoded
+// history is always well-formed (Inv ≤ Res), covering sequential,
+// overlapping, and pending shapes.
+func decodeHistory(data []byte) []Op {
+	var ops []Op
+	clock := int64(0)
+	for len(data) >= 4 && len(ops) < BruteMaxOps {
+		b0, b1, b2, b3 := data[0], data[1], data[2], data[3]
+		data = data[4:]
+		o := Op{
+			Proc: int(b0>>3) & 0x3,
+			Kind: Kind(b0&0x7)%5 + 1, // Read..CompareSwap
+			Loc:  8,
+			Arg:  uint64(b1 & 0x3),
+			Arg2: uint64(b1 >> 6),
+			Ret:  uint64(b2 & 0x3),
+		}
+		// b3 shapes the interval: low bits pick the start offset relative
+		// to the running clock (allowing overlap with earlier ops), the
+		// top bit picks pending.
+		o.Inv = clock - int64(b3&0xF)
+		if o.Inv < 0 {
+			o.Inv = 0
+		}
+		if b3&0x80 != 0 {
+			o.Pending = true
+		} else {
+			o.Res = o.Inv + 1 + int64(b3>>4&0x7)
+			if o.Res > clock {
+				clock = o.Res
+			}
+		}
+		clock += int64(b3 & 0x3)
+		ops = append(ops, o)
+	}
+	return ops
+}
+
+// FuzzLinearize cross-checks the Wing–Gong search against the
+// brute-force reference on arbitrary small histories: the two
+// implementations share no machinery, so any divergence is a bug in one
+// of them.
+func FuzzLinearize(f *testing.F) {
+	// Seed with shapes that exercise every kind, pending ops, overlap,
+	// and both verdicts.
+	f.Add([]byte{})
+	f.Add([]byte{0x02, 0x01, 0x00, 0x10})                         // lone write
+	f.Add([]byte{0x02, 0x01, 0x00, 0x10, 0x01, 0x00, 0x00, 0x10}) // write then stale read
+	f.Add([]byte{0x02, 0x01, 0x00, 0x90, 0x01, 0x00, 0x01, 0x10}) // pending write, read of it
+	f.Add([]byte{0x03, 0x00, 0x00, 0x30, 0x0B, 0x00, 0x01, 0x3F}) // two fetch&incs
+	f.Add([]byte{0x05, 0x41, 0x00, 0x10, 0x0D, 0x81, 0x01, 0x14}) // cas pair
+	f.Add([]byte{0x04, 0x02, 0x00, 0x22, 0x0C, 0x01, 0x02, 0x22}) // fetch&store chain
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ops := decodeHistory(data)
+		want := BruteCheckLoc(ops, 0)
+		got := CheckLoc(ops, 0) == nil
+		if got != want {
+			t.Fatalf("checker divergence: wing-gong=%v brute=%v on %v", got, want, ops)
+		}
+	})
+}
+
+func TestFuzzCorpusShapes(t *testing.T) {
+	// The decoder must produce well-formed histories for every byte
+	// pattern of one op.
+	for b3 := 0; b3 < 256; b3++ {
+		ops := decodeHistory([]byte{0xFF, 0xFF, 0xFF, byte(b3)})
+		if len(ops) != 1 {
+			t.Fatalf("decode produced %d ops", len(ops))
+		}
+		o := ops[0]
+		if !o.Pending && o.Res < o.Inv {
+			t.Fatalf("malformed interval: %v", o)
+		}
+		if o.Kind < Read || o.Kind > CompareSwap {
+			t.Fatalf("kind out of range: %v", o)
+		}
+	}
+}

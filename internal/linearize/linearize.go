@@ -1,0 +1,182 @@
+// Package linearize is the memory-model conformance checker: it decides
+// whether a recorded history of program-level operations — reads,
+// writes, and the HIB's remote atomics (fetch&store, fetch&increment,
+// compare&swap, §2.2) — is linearizable, and whether every FENCE
+// (§2.3.5 MEMORY_BARRIER) actually ordered the remote writes issued
+// before it.
+//
+// The history model follows Herlihy & Wing: an operation is an interval
+// [Inv, Res] on the global simulated clock, and a history is linearizable
+// iff each operation can be assigned a linearization point inside its
+// interval such that the resulting sequence is legal for the object.
+// Telegraphos' remote writes are non-blocking — the processor is released
+// at the HIB latch, long before the store takes effect — so a write's
+// interval runs from its latch to its apply/serialize event (the history
+// builder in FromTrace pairs the two); a write whose effect never shows
+// up is pending and may linearize anywhere after its invocation, or not
+// at all.
+//
+// The checker itself is a Wing–Gong-style search (the iterative variant
+// with visited-state caching due to Lowe), partitioned per memory word:
+// linearizability is compositional ("P-compositionality"), so a history
+// over many words is linearizable iff each word's sub-history is, and the
+// search runs on the small per-word sub-histories instead of the whole
+// trace. BruteCheckLoc is an independent reference implementation used by
+// the fuzz cross-check (FuzzLinearize).
+package linearize
+
+import "fmt"
+
+// Kind classifies an operation in a history.
+type Kind uint8
+
+// Operation kinds. All but Fence operate on a single memory word.
+const (
+	// Read returns the word's value.
+	Read Kind = iota + 1
+	// Write sets the word to Arg (no return value).
+	Write
+	// FetchInc returns the word and increments it.
+	FetchInc
+	// FetchStore returns the word and sets it to Arg.
+	FetchStore
+	// CompareSwap returns the word and sets it to Arg iff it equals Arg2.
+	CompareSwap
+	// Fence is a MEMORY_BARRIER completion (no word; used by CheckFences;
+	// Arg carries the outstanding-operation count at completion).
+	Fence
+)
+
+var kindNames = map[Kind]string{
+	Read:        "read",
+	Write:       "write",
+	FetchInc:    "fetch&inc",
+	FetchStore:  "fetch&store",
+	CompareSwap: "compare&swap",
+	Fence:       "fence",
+}
+
+// String names the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Op is one operation interval in a history.
+type Op struct {
+	// Proc identifies the issuing node/program.
+	Proc int
+	// Kind classifies the operation.
+	Kind Kind
+	// Loc is the memory word the operation targets (segment offset; the
+	// same word has the same Loc on every node).
+	Loc uint64
+	// Arg is the written/stored value (Write, FetchStore, CompareSwap).
+	Arg uint64
+	// Arg2 is the CompareSwap comparand.
+	Arg2 uint64
+	// Ret is the returned value (Read and the atomics).
+	Ret uint64
+	// Inv is the invocation time.
+	Inv int64
+	// Res is the response time — for non-blocking writes, the time the
+	// effect became visible (the apply/serialize event). Meaningless when
+	// Pending.
+	Res int64
+	// Pending marks an operation whose response/effect was never
+	// observed: it may linearize anywhere after Inv, or not at all.
+	Pending bool
+}
+
+// String renders one op.
+func (o Op) String() string {
+	iv := fmt.Sprintf("[%d,", o.Inv)
+	if o.Pending {
+		iv += "∞)"
+	} else {
+		iv += fmt.Sprintf("%d]", o.Res)
+	}
+	switch o.Kind {
+	case Read:
+		return fmt.Sprintf("p%d read(%#x)=%#x %s", o.Proc, o.Loc, o.Ret, iv)
+	case Write:
+		return fmt.Sprintf("p%d write(%#x,%#x) %s", o.Proc, o.Loc, o.Arg, iv)
+	case CompareSwap:
+		return fmt.Sprintf("p%d cas(%#x,%#x,exp=%#x)=%#x %s", o.Proc, o.Loc, o.Arg, o.Arg2, o.Ret, iv)
+	case Fence:
+		return fmt.Sprintf("p%d fence(outstanding=%d) %s", o.Proc, o.Arg, iv)
+	default:
+		return fmt.Sprintf("p%d %s(%#x,%#x)=%#x %s", o.Proc, o.Kind, o.Loc, o.Arg, o.Ret, iv)
+	}
+}
+
+// History is a recorded set of operation intervals.
+type History struct {
+	// Ops holds the operations in canonical order (ascending Inv, ties
+	// broken by node and sequence — FromTrace guarantees it).
+	Ops []Op
+}
+
+// Violation describes a conformance failure found in a history.
+type Violation struct {
+	// Loc is the word the violation concerns (0 for fence violations).
+	Loc uint64
+	// Kind classifies the violation.
+	Kind string
+	// Detail is a human-readable explanation.
+	Detail string
+}
+
+// Error implements error.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("%s violation at %#x: %s", v.Kind, v.Loc, v.Detail)
+}
+
+// ByLoc partitions the history's word operations (everything but fences)
+// by location, preserving order. This is the P-compositionality step:
+// each partition is checked independently.
+func (h *History) ByLoc() map[uint64][]Op {
+	out := make(map[uint64][]Op)
+	for _, o := range h.Ops {
+		if o.Kind == Fence {
+			continue
+		}
+		out[o.Loc] = append(out[o.Loc], o)
+	}
+	return out
+}
+
+// Check decides linearizability of the whole history: every word's
+// sub-history must linearize against the single-word object model (a
+// 64-bit register supporting read/write/fetch&inc/fetch&store/cas,
+// initial value zero). It returns nil or the first *Violation in
+// ascending-location order (deterministic for identical histories).
+func Check(h *History) error {
+	return CheckLocs(h, nil)
+}
+
+// CheckLocs is Check restricted to the listed locations (nil = all).
+func CheckLocs(h *History, locs map[uint64]bool) error {
+	parts := h.ByLoc()
+	keys := make([]uint64, 0, len(parts))
+	for loc := range parts {
+		if locs != nil && !locs[loc] {
+			continue
+		}
+		keys = append(keys, loc)
+	}
+	// Deterministic order.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	for _, loc := range keys {
+		if err := CheckLoc(parts[loc], 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,348 @@
+package linearize
+
+import (
+	"strings"
+	"testing"
+
+	"telegraphos/internal/addrspace"
+	"telegraphos/internal/trace"
+)
+
+// op builders for terse test histories.
+
+func rd(p int, loc uint64, ret uint64, inv, res int64) Op {
+	return Op{Proc: p, Kind: Read, Loc: loc, Ret: ret, Inv: inv, Res: res}
+}
+
+func wr(p int, loc uint64, v uint64, inv, res int64) Op {
+	return Op{Proc: p, Kind: Write, Loc: loc, Arg: v, Inv: inv, Res: res}
+}
+
+func wrPend(p int, loc uint64, v uint64, inv int64) Op {
+	return Op{Proc: p, Kind: Write, Loc: loc, Arg: v, Inv: inv, Pending: true}
+}
+
+func fai(p int, loc uint64, ret uint64, inv, res int64) Op {
+	return Op{Proc: p, Kind: FetchInc, Loc: loc, Ret: ret, Inv: inv, Res: res}
+}
+
+func fas(p int, loc uint64, v, ret uint64, inv, res int64) Op {
+	return Op{Proc: p, Kind: FetchStore, Loc: loc, Arg: v, Ret: ret, Inv: inv, Res: res}
+}
+
+func cas(p int, loc uint64, v, exp, ret uint64, inv, res int64) Op {
+	return Op{Proc: p, Kind: CompareSwap, Loc: loc, Arg: v, Arg2: exp, Ret: ret, Inv: inv, Res: res}
+}
+
+func TestSequentialRegister(t *testing.T) {
+	ops := []Op{
+		wr(0, 8, 5, 0, 1),
+		rd(1, 8, 5, 2, 3),
+		wr(1, 8, 7, 4, 5),
+		rd(0, 8, 7, 6, 7),
+	}
+	if err := CheckLoc(ops, 0); err != nil {
+		t.Fatalf("sequential history rejected: %v", err)
+	}
+}
+
+func TestStaleReadAfterWrite(t *testing.T) {
+	// The read starts strictly after the write responded, yet returns the
+	// old value: the canonical non-linearizable register history.
+	ops := []Op{
+		wr(0, 8, 5, 0, 1),
+		rd(1, 8, 0, 2, 3),
+	}
+	if err := CheckLoc(ops, 0); err == nil {
+		t.Fatal("stale read accepted")
+	}
+}
+
+func TestConcurrentReadMayReturnEither(t *testing.T) {
+	// Read overlaps the write: both old and new value are linearizable.
+	for _, ret := range []uint64{0, 5} {
+		ops := []Op{
+			wr(0, 8, 5, 0, 10),
+			rd(1, 8, ret, 2, 3),
+		}
+		if err := CheckLoc(ops, 0); err != nil {
+			t.Fatalf("concurrent read of %d rejected: %v", ret, err)
+		}
+	}
+}
+
+func TestNewThenOldForbidden(t *testing.T) {
+	// Two sequential reads during one write: once the new value is seen,
+	// the old may not reappear (coherence's "no new-then-old").
+	ops := []Op{
+		wr(0, 8, 5, 0, 100),
+		rd(1, 8, 5, 10, 20),
+		rd(1, 8, 0, 30, 40),
+	}
+	if err := CheckLoc(ops, 0); err == nil {
+		t.Fatal("new-then-old read pair accepted")
+	}
+}
+
+func TestPendingWriteMayOrMayNotApply(t *testing.T) {
+	// A pending write justifies a read of its value...
+	ops := []Op{
+		wrPend(0, 8, 5, 0),
+		rd(1, 8, 5, 10, 20),
+	}
+	if err := CheckLoc(ops, 0); err != nil {
+		t.Fatalf("read of pending write's value rejected: %v", err)
+	}
+	// ...and equally a read of the initial value.
+	ops[1] = rd(1, 8, 0, 10, 20)
+	if err := CheckLoc(ops, 0); err != nil {
+		t.Fatalf("read of initial value with pending write rejected: %v", err)
+	}
+	// But a pending write invoked after a read responded cannot explain it.
+	ops = []Op{
+		rd(1, 8, 5, 0, 1),
+		wrPend(0, 8, 5, 10),
+	}
+	if err := CheckLoc(ops, 0); err == nil {
+		t.Fatal("read of a value written only by a later pending write accepted")
+	}
+}
+
+func TestFetchIncUnique(t *testing.T) {
+	// Concurrent fetch&incs must return distinct consecutive values.
+	ops := []Op{
+		fai(0, 8, 0, 0, 10),
+		fai(1, 8, 1, 0, 10),
+		fai(2, 8, 2, 0, 10),
+	}
+	if err := CheckLoc(ops, 0); err != nil {
+		t.Fatalf("distinct fetch&incs rejected: %v", err)
+	}
+	// A duplicated return value is the lost-increment anomaly.
+	ops[2] = fai(2, 8, 1, 0, 10)
+	if err := CheckLoc(ops, 0); err == nil {
+		t.Fatal("duplicate fetch&inc returns accepted")
+	}
+}
+
+func TestFetchStoreChain(t *testing.T) {
+	// fetch&store forms a hand-over-hand chain: each sees the previous
+	// store's value.
+	ops := []Op{
+		fas(0, 8, 10, 0, 0, 10),
+		fas(1, 8, 20, 10, 20, 30),
+		fas(2, 8, 30, 20, 40, 50),
+	}
+	if err := CheckLoc(ops, 0); err != nil {
+		t.Fatalf("fetch&store chain rejected: %v", err)
+	}
+	// Two stores both claiming to have seen the same previous value lose
+	// an update.
+	ops = []Op{
+		fas(0, 8, 10, 0, 0, 10),
+		fas(1, 8, 20, 0, 20, 30),
+	}
+	if err := CheckLoc(ops, 0); err == nil {
+		t.Fatal("lost fetch&store accepted")
+	}
+}
+
+func TestCompareSwapSemantics(t *testing.T) {
+	// Successful CAS 0→5, then failed CAS expecting 0, observing 5.
+	ops := []Op{
+		cas(0, 8, 5, 0, 0, 0, 10),
+		cas(1, 8, 9, 0, 5, 20, 30),
+		rd(2, 8, 5, 40, 50),
+	}
+	if err := CheckLoc(ops, 0); err != nil {
+		t.Fatalf("cas success/failure pair rejected: %v", err)
+	}
+	// Two CASes expecting the same initial value cannot both succeed —
+	// witnessed by later reads contradicting one of them.
+	ops = []Op{
+		cas(0, 8, 5, 0, 0, 0, 10),
+		cas(1, 8, 9, 0, 0, 20, 30),
+	}
+	if err := CheckLoc(ops, 0); err == nil {
+		t.Fatal("second cas observing stale expected value accepted")
+	}
+}
+
+func TestCheckPartitionsByLocation(t *testing.T) {
+	// The same interleaving is fine on two different words: partitioning
+	// must not conflate them.
+	h := &History{Ops: []Op{
+		wr(0, 8, 5, 0, 1),
+		wr(1, 16, 7, 0, 1),
+		rd(0, 16, 7, 2, 3),
+		rd(1, 8, 5, 2, 3),
+	}}
+	if err := Check(h); err != nil {
+		t.Fatalf("independent words rejected: %v", err)
+	}
+	// A violation on one word is found even among clean words, and the
+	// verdict names the word.
+	h.Ops = append(h.Ops, rd(1, 16, 0, 10, 11))
+	err := Check(h)
+	if err == nil {
+		t.Fatal("stale read on second word accepted")
+	}
+	v, ok := err.(*Violation)
+	if !ok || v.Loc != 16 {
+		t.Fatalf("violation did not name the offending word: %v", err)
+	}
+	// Restricting the check to the clean word masks it.
+	if err := CheckLocs(h, map[uint64]bool{8: true}); err != nil {
+		t.Fatalf("restricted check leaked other word: %v", err)
+	}
+}
+
+func TestCheckDeterministicVerdict(t *testing.T) {
+	h := &History{Ops: []Op{
+		wr(0, 8, 5, 0, 1),
+		rd(1, 8, 0, 2, 3),
+		wr(0, 16, 1, 0, 1),
+		rd(1, 16, 9, 2, 3),
+	}}
+	first := Check(h).Error()
+	for i := 0; i < 20; i++ {
+		if got := Check(h).Error(); got != first {
+			t.Fatalf("verdict changed between runs:\n%s\nvs\n%s", first, got)
+		}
+	}
+	if !strings.Contains(first, "0x8") {
+		t.Fatalf("expected lowest location first, got: %s", first)
+	}
+}
+
+func TestFromTracePairsBoundaryEvents(t *testing.T) {
+	// Node 1 writes 5 to node 0's word (non-blocking: return at t=2,
+	// apply at t=20), node 0 reads it at t=30.
+	g := uint64(0x100) // GAddr node 0, offset 0x100
+	ev := []trace.Event{
+		{At: 0, Node: 1, Kind: trace.EvOpInvoke, Addr: g, Val: 5, Aux: trace.BoundaryAux(trace.BOpWrite, 1)},
+		{At: 2, Node: 1, Kind: trace.EvOpReturn, Addr: g, Val: 0, Aux: trace.BoundaryAux(trace.BOpWrite, 1)},
+		{At: 20, Node: 0, Kind: trace.EvWriteApply, Addr: g, Val: 5, Aux: 1},
+		{At: 30, Node: 0, Kind: trace.EvOpInvoke, Addr: g, Val: 0, Aux: trace.BoundaryAux(trace.BOpRead, 1)},
+		{At: 31, Node: 0, Kind: trace.EvOpReturn, Addr: g, Val: 5, Aux: trace.BoundaryAux(trace.BOpRead, 1)},
+	}
+	h := FromTrace(ev)
+	if len(h.Ops) != 2 {
+		t.Fatalf("expected 2 ops, got %d: %v", len(h.Ops), h.Ops)
+	}
+	w := h.Ops[0]
+	if w.Kind != Write || w.Pending || w.Res != 20 {
+		t.Fatalf("write interval not stretched to its apply: %v", w)
+	}
+	if err := Check(h); err != nil {
+		t.Fatalf("trace-built history rejected: %v", err)
+	}
+
+	// Without the apply event the write must stay pending — and the read
+	// of its value is then still explainable.
+	h = FromTrace(append(ev[:2:2], ev[3:]...))
+	if !h.Ops[0].Pending {
+		t.Fatalf("remote write without apply not pending: %v", h.Ops[0])
+	}
+	if err := Check(h); err != nil {
+		t.Fatalf("pending-write history rejected: %v", err)
+	}
+}
+
+func TestFromTraceStaleReadCaught(t *testing.T) {
+	// The write applies at t=20; a read starting at t=30 returning 0 is a
+	// real violation the end-to-end pipeline must catch.
+	g := uint64(0x100)
+	ev := []trace.Event{
+		{At: 0, Node: 1, Kind: trace.EvOpInvoke, Addr: g, Val: 5, Aux: trace.BoundaryAux(trace.BOpWrite, 1)},
+		{At: 2, Node: 1, Kind: trace.EvOpReturn, Addr: g, Val: 0, Aux: trace.BoundaryAux(trace.BOpWrite, 1)},
+		{At: 20, Node: 0, Kind: trace.EvWriteApply, Addr: g, Val: 5, Aux: 1},
+		{At: 30, Node: 0, Kind: trace.EvOpInvoke, Addr: g, Val: 0, Aux: trace.BoundaryAux(trace.BOpRead, 1)},
+		{At: 31, Node: 0, Kind: trace.EvOpReturn, Addr: g, Val: 0, Aux: trace.BoundaryAux(trace.BOpRead, 1)},
+	}
+	if err := Check(FromTrace(ev)); err == nil {
+		t.Fatal("stale read after applied write accepted")
+	}
+}
+
+func TestFromTraceCAS(t *testing.T) {
+	g := uint64(0x100)
+	aux := trace.BoundaryAux(trace.BOpCompareSwap, 1)
+	ev := []trace.Event{
+		{At: 0, Node: 1, Kind: trace.EvOpInvoke, Addr: g, Val: 7, Aux: aux},
+		{At: 0, Node: 1, Kind: trace.EvOpArg, Addr: g, Val: 0, Aux: aux},
+		{At: 5, Node: 1, Kind: trace.EvOpReturn, Addr: g, Val: 0, Aux: aux},
+	}
+	h := FromTrace(ev)
+	if len(h.Ops) != 1 {
+		t.Fatalf("expected 1 op, got %v", h.Ops)
+	}
+	o := h.Ops[0]
+	if o.Kind != CompareSwap || o.Arg != 7 || o.Arg2 != 0 || o.Ret != 0 {
+		t.Fatalf("cas fields wrong: %v", o)
+	}
+	if err := Check(h); err != nil {
+		t.Fatalf("cas history rejected: %v", err)
+	}
+}
+
+func TestCheckFences(t *testing.T) {
+	fence := func(p int, inv, res int64, outstanding uint64) Op {
+		return Op{Proc: p, Kind: Fence, Arg: outstanding, Inv: inv, Res: res}
+	}
+	// Correct: write effect (t=5) before fence completion (t=10).
+	h := &History{Ops: []Op{
+		wr(0, 8, 1, 0, 5),
+		fence(0, 6, 10, 0),
+		wr(0, 8, 2, 11, 20),
+	}}
+	if err := CheckFences(h); err != nil {
+		t.Fatalf("correct fence rejected: %v", err)
+	}
+	// Counter non-zero at completion.
+	h.Ops[1].Arg = 2
+	if err := CheckFences(h); err == nil {
+		t.Fatal("fence with non-zero outstanding accepted")
+	}
+	h.Ops[1].Arg = 0
+	// Pre-fence write effect after fence completion.
+	h.Ops[0].Res = 15
+	if err := CheckFences(h); err == nil {
+		t.Fatal("fence completing before covered write accepted")
+	}
+	h.Ops[0].Res = 5
+	// Pre-fence write never took effect.
+	h.Ops[0].Pending = true
+	if err := CheckFences(h); err == nil {
+		t.Fatal("fence over pending write accepted")
+	}
+	h.Ops[0].Pending = false
+	// Another process's writes are not covered.
+	h.Ops = append(h.Ops, wrPend(1, 8, 9, 0))
+	if err := CheckFences(h); err != nil {
+		t.Fatalf("fence wrongly covered another process: %v", err)
+	}
+}
+
+func TestFromTraceFences(t *testing.T) {
+	g := uint64(addrspace.NewGAddr(1, 0x100)) // remote word homed on node 1
+	ev := []trace.Event{
+		{At: 0, Node: 0, Kind: trace.EvOpInvoke, Addr: g, Val: 5, Aux: trace.BoundaryAux(trace.BOpWrite, 1)},
+		{At: 2, Node: 0, Kind: trace.EvOpReturn, Addr: g, Val: 0, Aux: trace.BoundaryAux(trace.BOpWrite, 1)},
+		{At: 3, Node: 0, Kind: trace.EvFenceStart, Val: 1},
+		{At: 20, Node: 1, Kind: trace.EvWriteApply, Addr: g, Val: 5, Aux: 0},
+		{At: 25, Node: 0, Kind: trace.EvFenceEnd, Val: 0},
+	}
+	h := FromTrace(ev)
+	if err := CheckFences(h); err != nil {
+		t.Fatalf("correct fence trace rejected: %v", err)
+	}
+	// Fence ending before the apply is the violation the checker exists
+	// for (a board releasing MEMORY_BARRIER too early).
+	ev[3], ev[4] = ev[4], ev[3]
+	ev[3].At, ev[4].At = 10, 20
+	h = FromTrace(ev)
+	if err := CheckFences(h); err == nil {
+		t.Fatal("early fence completion accepted")
+	}
+}

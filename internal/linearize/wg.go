@@ -1,0 +1,165 @@
+package linearize
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CheckLoc decides whether one location's sub-history is linearizable
+// against the single-word object model starting from init. It is a
+// Wing–Gong-style depth-first search over linearization orders with the
+// standard prunings: only "minimal" operations (those invoked before the
+// earliest response among the not-yet-linearized complete operations) are
+// candidates at each step, and visited (linearized-set, word-state)
+// configurations are cached so equivalent interleavings are explored
+// once. Pending operations may be linearized (their effect applied, no
+// return value to check) or left out entirely.
+//
+// The search is deterministic: operations are considered in a canonical
+// order (ascending invocation, ties by process), so identical histories
+// yield identical verdicts and identical counterexamples.
+func CheckLoc(ops []Op, init uint64) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	// Canonical order: ascending Inv, ties by Proc. The search below
+	// indexes into this slice, so the verdict is order-independent of the
+	// caller's slice.
+	sorted := make([]Op, len(ops))
+	copy(sorted, ops)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].Inv != sorted[j].Inv {
+			return sorted[i].Inv < sorted[j].Inv
+		}
+		return sorted[i].Proc < sorted[j].Proc
+	})
+	if search(sorted, init) {
+		return nil
+	}
+	loc := sorted[0].Loc
+	detail := fmt.Sprintf("no linearization of %d ops from init %#x; history:", len(sorted), init)
+	for i, o := range sorted {
+		if i == 16 {
+			detail += fmt.Sprintf(" … (%d more)", len(sorted)-i)
+			break
+		}
+		detail += "\n\t" + o.String()
+	}
+	return &Violation{Loc: loc, Kind: "linearizability", Detail: detail}
+}
+
+// bitset is a fixed-capacity set of op indices, usable as a map key via
+// its byte string.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) has(i int) bool { return b[i/64]&(1<<(i%64)) != 0 }
+func (b bitset) set(i int)      { b[i/64] |= 1 << (i % 64) }
+func (b bitset) clear(i int)    { b[i/64] &^= 1 << (i % 64) }
+
+func (b bitset) key(state uint64) string {
+	buf := make([]byte, 8*len(b)+8)
+	for i, w := range b {
+		put64(buf[8*i:], w)
+	}
+	put64(buf[8*len(b):], state)
+	return string(buf)
+}
+
+func put64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+// search runs the memoized DFS. ops is in canonical order.
+func search(ops []Op, init uint64) bool {
+	n := len(ops)
+	done := newBitset(n)
+	seen := make(map[string]bool)
+
+	var dfs func(state uint64, remaining int) bool
+	dfs = func(state uint64, remaining int) bool {
+		if remaining == 0 {
+			return true
+		}
+		k := done.key(state)
+		if seen[k] {
+			return false
+		}
+		seen[k] = true
+
+		// The frontier closes at the earliest response among unlinearized
+		// complete ops: nothing invoked after it may linearize first.
+		frontier := int64(1<<63 - 1)
+		for i := 0; i < n; i++ {
+			if done.has(i) || ops[i].Pending {
+				continue
+			}
+			if ops[i].Res < frontier {
+				frontier = ops[i].Res
+			}
+		}
+		for i := 0; i < n; i++ {
+			if done.has(i) || ops[i].Inv > frontier {
+				continue
+			}
+			next, ok := apply(ops[i], state)
+			if !ok {
+				continue
+			}
+			done.set(i)
+			rem := remaining
+			if !ops[i].Pending {
+				rem--
+			}
+			if dfs(next, rem) {
+				return true
+			}
+			done.clear(i)
+		}
+		return false
+	}
+
+	remaining := 0
+	for _, o := range ops {
+		if !o.Pending {
+			remaining++
+		}
+	}
+	return dfs(init, remaining)
+}
+
+// apply transitions the word state through one operation, reporting
+// whether the operation's observed return value is legal from state.
+// Pending operations have no observed return value, so any is legal.
+func apply(o Op, state uint64) (uint64, bool) {
+	ok := o.Pending || retOf(o, state) == o.Ret
+	return stateAfter(o, state), ok
+}
+
+// retOf is the value the object model returns for o executed at state.
+func retOf(o Op, state uint64) uint64 {
+	if o.Kind == Write {
+		return 0
+	}
+	return state // read and all atomics fetch the pre-state
+}
+
+// stateAfter is the word state after o executes at state.
+func stateAfter(o Op, state uint64) uint64 {
+	switch o.Kind {
+	case Write, FetchStore:
+		return o.Arg
+	case FetchInc:
+		return state + 1
+	case CompareSwap:
+		if state == o.Arg2 {
+			return o.Arg
+		}
+		return state
+	default: // Read
+		return state
+	}
+}

@@ -1,0 +1,327 @@
+package litmus
+
+import (
+	"fmt"
+
+	"telegraphos/internal/addrspace"
+	"telegraphos/internal/coherence"
+	"telegraphos/internal/consistency"
+	"telegraphos/internal/core"
+	"telegraphos/internal/cpu"
+	"telegraphos/internal/linearize"
+	"telegraphos/internal/link"
+	"telegraphos/internal/params"
+	"telegraphos/internal/sim"
+	"telegraphos/internal/trace"
+)
+
+// Protocol selects the coherence machinery a run attaches.
+type Protocol int
+
+// Protocols.
+const (
+	// Update is the Telegraphos owner-serialized update protocol (§2.3).
+	Update Protocol = iota
+	// Invalidate is the directory invalidate baseline (§2.3.6). Its
+	// centralized directory model requires a single shard.
+	Invalidate
+	// Galactica is the ring-based update baseline (§2.4).
+	Galactica
+)
+
+var protocolNames = map[Protocol]string{
+	Update:     "update",
+	Invalidate: "invalidate",
+	Galactica:  "galactica",
+}
+
+// String names the protocol.
+func (p Protocol) String() string {
+	if s, ok := protocolNames[p]; ok {
+		return s
+	}
+	return fmt.Sprintf("Protocol(%d)", int(p))
+}
+
+// Config fixes one run of one test.
+type Config struct {
+	// Protocol is the coherence machinery under test.
+	Protocol Protocol
+	// Shards is the simulation shard count (0/1 = sequential). Verdicts
+	// and trace hashes are shard-invariant for identical configs.
+	Shards int
+	// Faults is the link fault schedule (nil = clean network).
+	Faults *link.FaultPlan
+	// Variant scales the test's Stagger delays (timing sweep index).
+	Variant int
+	// Seed drives the simulation RNG streams.
+	Seed int64
+	// SimBudget caps simulated time (default 100 ms; hitting it is a
+	// quiescence violation).
+	SimBudget sim.Time
+}
+
+// RunResult is one run's verdict.
+type RunResult struct {
+	// Outcome is the observed final outcome.
+	Outcome Outcome
+	// Forbidden reports whether the outcome matched the test's forbidden
+	// predicate (a violation under Update/Invalidate; the expected
+	// anomaly under Galactica).
+	Forbidden bool
+	// Witnessed reports whether the outcome matched the witness
+	// predicate.
+	Witnessed bool
+	// Violations are conformance failures: quiescence, linearizability,
+	// fence order, coherence. Forbidden-outcome hits under the
+	// Telegraphos protocols are appended here too.
+	Violations []string
+	// TraceHash fingerprints the run's merged event stream.
+	TraceHash uint64
+	// Events is the merged stream length.
+	Events int
+}
+
+// lditers bounds an LdWait poll loop.
+const ldIters = 400
+
+// Run executes one litmus test under cfg.
+func Run(t *Test, cfg Config) *RunResult {
+	nThreads := len(t.Threads)
+	homeNode := nThreads // first passive node (plain homes / coherent owner)
+	nNodes := nThreads
+	switch {
+	case t.Region == Coherent && t.HomeThread >= 0:
+		homeNode = t.HomeThread
+	case t.Region == Coherent:
+		nNodes = nThreads + 1
+	default:
+		nNodes = nThreads + t.NLocs
+	}
+
+	pcfg := params.Default(nNodes)
+	pcfg.Seed = cfg.Seed
+	pcfg.Topology = "star"
+	pcfg.Sizing.MemBytes = 1 << 20
+	pcfg.Link.Faults = cfg.Faults
+	pcfg.Shards = cfg.Shards
+	c := core.New(pcfg)
+
+	slog := trace.NewShardedLog(nNodes)
+	for i, n := range c.Nodes {
+		n.HIB.SetRecorder(slog.Recorder(i))
+	}
+
+	// Locations. Plain: one word on its own passive home each (distinct
+	// homes keep store paths independent — the relaxations the tests
+	// probe need them). Coherent: consecutive words of one replicated
+	// page.
+	locVA := make([]addrspace.VAddr, t.NLocs)
+	locHome := make([]int, t.NLocs)
+
+	// The protocol attaches on every run — plain-region tests exercise
+	// its pass-through paths; coherent tests put their page under it.
+	var upd *coherence.Update
+	var gal *coherence.Galactica
+	var inv *coherence.Invalidate
+	switch cfg.Protocol {
+	case Update:
+		upd = coherence.NewUpdate(c, coherence.CountersInfinite)
+	case Invalidate:
+		inv = coherence.NewInvalidate(c)
+	case Galactica:
+		gal = coherence.NewGalactica(c)
+	}
+
+	if t.Region == Plain {
+		for l := 0; l < t.NLocs; l++ {
+			home := nThreads + l
+			locVA[l] = c.AllocShared(addrspace.NodeID(home), 8)
+			locHome[l] = home
+		}
+	} else {
+		pageVA := c.AllocShared(addrspace.NodeID(homeNode), c.PageSize())
+		for l := 0; l < t.NLocs; l++ {
+			locVA[l] = pageVA + addrspace.VAddr(8*l)
+			locHome[l] = homeNode
+		}
+		switch {
+		case upd != nil:
+			copies := make([]int, 0, nNodes)
+			for i := 0; i < nNodes; i++ {
+				copies = append(copies, i)
+			}
+			upd.SharePage(pageVA, addrspace.NodeID(homeNode), copies)
+			// Record every word's applied values on every replica so the
+			// per-location coherence checker has full histories.
+			for i := 0; i < nNodes; i++ {
+				for l := 0; l < t.NLocs; l++ {
+					upd.Mgr(i).Watch(c.SharedOffset(locVA[l]))
+				}
+			}
+		case inv != nil:
+			inv.SharePage(pageVA)
+		case gal != nil:
+			ring := t.Ring
+			if ring == nil {
+				for i := 0; i < nNodes; i++ {
+					ring = append(ring, i)
+				}
+			}
+			gal.ShareRing(pageVA, ring)
+		}
+	}
+
+	// Observation point.
+	watchOff := uint64(0)
+	if t.Watch != nil {
+		watchOff = c.SharedOffset(locVA[t.Watch.Loc])
+		switch {
+		case upd != nil:
+			upd.Mgr(t.Watch.Thread).Watch(watchOff)
+		case gal != nil:
+			gal.Mgr(t.Watch.Thread).Watch(watchOff)
+		}
+	}
+
+	// Thread programs. Each writes only its own registers; results are
+	// read after the engines join.
+	out := make([]uint64, t.NOut)
+	for ti, th := range t.Threads {
+		ti, th := ti, th
+		var stagger sim.Time
+		if ti < len(t.Stagger) {
+			stagger = t.Stagger[ti] * sim.Time(cfg.Variant)
+		}
+		c.Spawn(ti, fmt.Sprintf("litmus%d", ti), func(ctx *cpu.Ctx) {
+			if stagger > 0 {
+				ctx.Compute(stagger)
+			}
+			for _, s := range th {
+				switch s.Op {
+				case St:
+					ctx.Store(locVA[s.Loc], s.Val)
+				case Ld:
+					out[s.Out] = ctx.Load(locVA[s.Loc])
+				case LdWait:
+					for i := 0; i < ldIters; i++ {
+						if ctx.Load(locVA[s.Loc]) != 0 {
+							out[s.Out] = 1
+							break
+						}
+						ctx.Compute(500 * sim.Nanosecond)
+					}
+				case Fence:
+					ctx.Fence()
+				case FAI:
+					out[s.Out] = ctx.FetchAndInc(locVA[s.Loc])
+				case FAS:
+					out[s.Out] = ctx.FetchAndStore(locVA[s.Loc], s.Val)
+				case CAS:
+					out[s.Out] = ctx.CompareAndSwap(locVA[s.Loc], s.Val, s.Exp)
+				case Delay:
+					ctx.Compute(s.D)
+				}
+			}
+			ctx.Fence() // drain this thread's outstanding operations
+		})
+	}
+
+	budget := cfg.SimBudget
+	if budget <= 0 {
+		budget = 100 * sim.Millisecond
+	}
+	res := &RunResult{}
+	err := c.RunUntil(budget)
+	merged := slog.Merge()
+	if debugEvents != nil {
+		debugEvents(merged.Events())
+	}
+	res.TraceHash = merged.Hash()
+	res.Events = merged.Len()
+
+	switch {
+	case err != nil:
+		res.Violations = append(res.Violations, fmt.Sprintf("quiescence: engine error: %v", err))
+		return res
+	case c.Group.Pending() > 0 || c.Group.Alive() > 0:
+		res.Violations = append(res.Violations,
+			fmt.Sprintf("quiescence: still active at the %v budget", budget))
+		return res
+	}
+
+	// Outcome: registers, authoritative final values, watched sequence.
+	res.Outcome = Outcome{R: append([]uint64(nil), out...), Final: make([]uint64, t.NLocs)}
+	for l := 0; l < t.NLocs; l++ {
+		res.Outcome.Final[l] = c.Nodes[locHome[l]].Mem.ReadWord(c.SharedOffset(locVA[l]))
+	}
+	if t.Watch != nil {
+		var vals []uint64
+		switch {
+		case upd != nil:
+			vals = upd.Mgr(t.Watch.Thread).AppliedValues(watchOff)
+		case gal != nil:
+			vals = gal.Mgr(t.Watch.Thread).AppliedValues(watchOff)
+		}
+		res.Outcome.ABA = hasABA(vals)
+	}
+	res.Forbidden = t.Forbidden != nil && t.Forbidden(res.Outcome)
+	res.Witnessed = t.Witness != nil && t.Witness(res.Outcome)
+
+	// Conformance: the trace-reconstructed history must linearize on
+	// every plain word and satisfy the fence contract under every
+	// protocol; a forbidden outcome is a violation for the Telegraphos
+	// protocols (for Galactica it is the documented anomaly).
+	hist := linearize.FromTrace(merged.Events())
+	if t.Region == Plain {
+		locs := make(map[uint64]bool, t.NLocs)
+		for l := 0; l < t.NLocs; l++ {
+			locs[uint64(addrspace.NewGAddr(addrspace.NodeID(locHome[l]), c.SharedOffset(locVA[l])))] = true
+		}
+		if lerr := linearize.CheckLocs(hist, locs); lerr != nil {
+			res.Violations = append(res.Violations, lerr.Error())
+		}
+	}
+	if ferr := linearize.CheckFences(hist); ferr != nil {
+		res.Violations = append(res.Violations, ferr.Error())
+	}
+	if t.Region == Coherent && upd != nil {
+		res.Violations = append(res.Violations, checkCoherentPage(t, c, upd, locVA, homeNode)...)
+	}
+	if res.Forbidden && cfg.Protocol != Galactica {
+		res.Violations = append(res.Violations,
+			fmt.Sprintf("forbidden outcome under %v: %v", cfg.Protocol, res.Outcome))
+	}
+	return res
+}
+
+// checkCoherentPage validates the update protocol's page after
+// quiescence: replicas converged to the owner's copy and every node's
+// applied-value history embeds in one per-word total order.
+func checkCoherentPage(t *Test, c *core.Cluster, upd *coherence.Update,
+	locVA []addrspace.VAddr, homeNode int) []string {
+	var out []string
+	for l := 0; l < t.NLocs; l++ {
+		off := c.SharedOffset(locVA[l])
+		ownerV := c.Nodes[homeNode].Mem.ReadWord(off)
+		for i := range c.Nodes {
+			if v := c.Nodes[i].Mem.ReadWord(off); v != ownerV {
+				out = append(out, fmt.Sprintf(
+					"coherence-convergence: loc %d replica on node %d holds %#x, owner holds %#x", l, i, v, ownerV))
+			}
+		}
+		histories := make(map[string][]uint64, len(c.Nodes))
+		for i := range c.Nodes {
+			if vals := upd.Mgr(i).AppliedValues(off); len(vals) > 0 {
+				histories[fmt.Sprintf("node%d", i)] = vals
+			}
+		}
+		if err := consistency.CheckCoherent(histories); err != nil {
+			out = append(out, fmt.Sprintf("coherence-order: loc %d: %v", l, err))
+		}
+	}
+	return out
+}
+
+// debugEvents, when set by a test, receives each run's merged trace.
+var debugEvents func([]trace.Event)

@@ -1,0 +1,271 @@
+package litmus
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"telegraphos/internal/link"
+	"telegraphos/internal/sim"
+)
+
+// FaultLevel is one named link-fault schedule of the sweep.
+type FaultLevel struct {
+	Name string
+	Plan *link.FaultPlan // nil = clean network
+}
+
+// FaultLevels returns the sweep's fault schedules. The plans' own Seed
+// field is filled per run.
+func FaultLevels(quick bool) []FaultLevel {
+	levels := []FaultLevel{
+		{Name: "none"},
+		{Name: "light", Plan: &link.FaultPlan{
+			DropProb: 0.02, DupProb: 0.02, ReorderProb: 0.05,
+			JitterMax: 800 * sim.Nanosecond,
+		}},
+	}
+	if !quick {
+		levels = append(levels, FaultLevel{Name: "heavy", Plan: &link.FaultPlan{
+			DropProb: 0.10, DupProb: 0.08, ReorderProb: 0.12,
+			JitterMax: 1500 * sim.Nanosecond,
+		}})
+	}
+	return levels
+}
+
+// SweepOptions sizes a sweep.
+type SweepOptions struct {
+	// Quick trims the matrix (fewer variants, no heavy faults, shards
+	// {1,2}) for the tier-1 gate.
+	Quick bool
+	// Tests restricts the sweep to the named tests (nil = all).
+	Tests map[string]bool
+	// Seed offsets every run's simulation seed.
+	Seed int64
+	// Verbose streams each run's verdict to Out.
+	Verbose bool
+	// Out receives the report (nil discards it).
+	Out io.Writer
+}
+
+// CellKey identifies one histogram cell.
+type CellKey struct {
+	Test     string
+	Protocol Protocol
+	Shards   int
+	Faults   string
+}
+
+// Cell accumulates one configuration's outcomes over the variant sweep.
+type Cell struct {
+	Runs      int
+	Outcomes  map[string]int
+	Forbidden int // forbidden-outcome hits (anomaly count under Galactica)
+	Witnessed int
+}
+
+// SweepResult aggregates a sweep.
+type SweepResult struct {
+	Cells      map[CellKey]*Cell
+	Violations []string
+	// MissingWitness lists test/protocol pairs whose expected anomaly
+	// never showed (e.g. Galactica's 1,2,1 not reproduced).
+	MissingWitness []string
+	Runs           int
+}
+
+// Failed reports whether the sweep must fail the build: any conformance
+// violation, or an expected anomaly that never materialized.
+func (r *SweepResult) Failed() bool {
+	return len(r.Violations) > 0 || len(r.MissingWitness) > 0
+}
+
+// Sweep runs the full litmus matrix: every test × protocol × shard
+// count × fault schedule × timing variant. Invalidate's centralized
+// directory restricts it to single-shard runs.
+func Sweep(opts SweepOptions) *SweepResult {
+	shardCounts := []int{1, 2, 4}
+	variants := 5
+	if opts.Quick {
+		shardCounts = []int{1, 2}
+		variants = 3
+	}
+	faultLevels := FaultLevels(opts.Quick)
+	protocols := []Protocol{Update, Invalidate, Galactica}
+
+	res := &SweepResult{Cells: make(map[CellKey]*Cell)}
+	witnessNeeded := make(map[string]bool) // "test/protocol" → still missing
+	// Trace hashes per (everything but shards) → shard → hash, for the
+	// shard-invariance check.
+	type hashKey struct {
+		test     string
+		protocol Protocol
+		faults   string
+		variant  int
+	}
+	hashes := make(map[hashKey]map[int]uint64)
+
+	for _, t := range Tests() {
+		if opts.Tests != nil && !opts.Tests[t.Name] {
+			continue
+		}
+		for _, proto := range protocols {
+			if !t.runsUnder(proto) {
+				continue
+			}
+			if t.needsWitness(proto) {
+				witnessNeeded[t.Name+"/"+proto.String()] = true
+			}
+			for _, shards := range shardCounts {
+				if proto == Invalidate && shards > 1 {
+					continue
+				}
+				for _, fl := range faultLevels {
+					key := CellKey{Test: t.Name, Protocol: proto, Shards: shards, Faults: fl.Name}
+					cell := res.Cells[key]
+					if cell == nil {
+						cell = &Cell{Outcomes: make(map[string]int)}
+						res.Cells[key] = cell
+					}
+					for v := 0; v < variants; v++ {
+						seed := opts.Seed + int64(v)*7919
+						var plan *link.FaultPlan
+						if fl.Plan != nil {
+							p := *fl.Plan
+							p.Seed = seed
+							plan = &p
+						}
+						rr := Run(t, Config{
+							Protocol: proto,
+							Shards:   shards,
+							Faults:   plan,
+							Variant:  v,
+							Seed:     seed,
+						})
+						res.Runs++
+						cell.Runs++
+						cell.Outcomes[rr.Outcome.String()]++
+						if rr.Forbidden {
+							cell.Forbidden++
+						}
+						if rr.Witnessed {
+							cell.Witnessed++
+							delete(witnessNeeded, t.Name+"/"+proto.String())
+						}
+						for _, viol := range rr.Violations {
+							res.Violations = append(res.Violations,
+								fmt.Sprintf("%s proto=%v shards=%d faults=%s variant=%d: %s",
+									t.Name, proto, shards, fl.Name, v, viol))
+						}
+						hk := hashKey{t.Name, proto, fl.Name, v}
+						if hashes[hk] == nil {
+							hashes[hk] = make(map[int]uint64)
+						}
+						hashes[hk][shards] = rr.TraceHash
+						if opts.Verbose && opts.Out != nil {
+							fmt.Fprintf(opts.Out, "  %-14s proto=%-10v shards=%d faults=%-5s v=%d → %v\n",
+								t.Name, proto, shards, fl.Name, v, rr.Outcome)
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Shard invariance: identical configs must produce identical traces
+	// regardless of shard count.
+	hkeys := make([]hashKey, 0, len(hashes))
+	for hk := range hashes {
+		hkeys = append(hkeys, hk)
+	}
+	sort.Slice(hkeys, func(i, j int) bool {
+		a, b := hkeys[i], hkeys[j]
+		if a.test != b.test {
+			return a.test < b.test
+		}
+		if a.protocol != b.protocol {
+			return a.protocol < b.protocol
+		}
+		if a.faults != b.faults {
+			return a.faults < b.faults
+		}
+		return a.variant < b.variant
+	})
+	for _, hk := range hkeys {
+		byShard := hashes[hk]
+		var want uint64
+		first := true
+		for _, shards := range shardCounts {
+			h, ok := byShard[shards]
+			if !ok {
+				continue
+			}
+			if first {
+				want, first = h, false
+				continue
+			}
+			if h != want {
+				res.Violations = append(res.Violations, fmt.Sprintf(
+					"shard-variance: %s proto=%v faults=%s variant=%d: trace hash differs across shard counts",
+					hk.test, hk.protocol, hk.faults, hk.variant))
+				break
+			}
+		}
+	}
+
+	for key := range witnessNeeded {
+		res.MissingWitness = append(res.MissingWitness, key)
+	}
+	sort.Strings(res.MissingWitness)
+	return res
+}
+
+// Report renders the sweep's outcome histograms and verdicts.
+func (r *SweepResult) Report(w io.Writer) {
+	keys := make([]CellKey, 0, len(r.Cells))
+	for k := range r.Cells {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Test != b.Test {
+			return a.Test < b.Test
+		}
+		if a.Protocol != b.Protocol {
+			return a.Protocol < b.Protocol
+		}
+		if a.Shards != b.Shards {
+			return a.Shards < b.Shards
+		}
+		return a.Faults < b.Faults
+	})
+	lastTest := ""
+	for _, k := range keys {
+		if k.Test != lastTest {
+			fmt.Fprintf(w, "\n%s\n", k.Test)
+			lastTest = k.Test
+		}
+		c := r.Cells[k]
+		fmt.Fprintf(w, "  proto=%-10v shards=%d faults=%-5s runs=%d", k.Protocol, k.Shards, k.Faults, c.Runs)
+		if c.Forbidden > 0 {
+			fmt.Fprintf(w, " forbidden=%d", c.Forbidden)
+		}
+		fmt.Fprintln(w)
+		for _, out := range sortedKeys(c.Outcomes) {
+			fmt.Fprintf(w, "    %3d× [%s]\n", c.Outcomes[out], out)
+		}
+	}
+	fmt.Fprintf(w, "\n%d runs", r.Runs)
+	if len(r.Violations) > 0 {
+		fmt.Fprintf(w, ", %d VIOLATIONS:\n", len(r.Violations))
+		for _, v := range r.Violations {
+			fmt.Fprintf(w, "  ✗ %s\n", v)
+		}
+	} else {
+		fmt.Fprintf(w, ", no violations\n")
+	}
+	for _, m := range r.MissingWitness {
+		fmt.Fprintf(w, "  ✗ expected anomaly never observed: %s\n", m)
+	}
+}

@@ -1,0 +1,184 @@
+package litmus
+
+import "telegraphos/internal/sim"
+
+// Tests returns the litmus catalog. Register indices are per-test; the
+// comments give the classic name and what Telegraphos guarantees.
+func Tests() []*Test {
+	st := func(loc int, v uint64) Stmt { return Stmt{Op: St, Loc: loc, Val: v} }
+	ld := func(loc, out int) Stmt { return Stmt{Op: Ld, Loc: loc, Out: out} }
+	fence := Stmt{Op: Fence}
+
+	return []*Test{
+		{
+			Name:   "SB",
+			Doc:    "store buffering: non-blocking remote writes may let both loads miss both stores",
+			Region: Plain, NLocs: 2, NOut: 2,
+			Threads: []Thread{
+				{st(0, 1), ld(1, 0)},
+				{st(1, 1), ld(0, 1)},
+			},
+			Stagger: []sim.Time{0, 300 * sim.Nanosecond},
+			// r0=0 r1=0 is ALLOWED: each store is latched and released
+			// before its effect (§2.2.1), so no Forbidden predicate.
+		},
+		{
+			Name:   "SB+fence",
+			Doc:    "store buffering with MEMORY_BARRIER between store and load: 0,0 forbidden",
+			Region: Plain, NLocs: 2, NOut: 2,
+			Threads: []Thread{
+				{st(0, 1), fence, ld(1, 0)},
+				{st(1, 1), fence, ld(0, 1)},
+			},
+			Stagger:   []sim.Time{0, 300 * sim.Nanosecond},
+			Forbidden: func(o Outcome) bool { return o.R[0] == 0 && o.R[1] == 0 },
+		},
+		{
+			Name:   "MP",
+			Doc:    "message passing without a barrier: the flag may outrun the data",
+			Region: Plain, NLocs: 2, NOut: 2,
+			Threads: []Thread{
+				{st(0, 42), st(1, 1)},
+				{{Op: LdWait, Loc: 1, Out: 0}, ld(0, 1)},
+			},
+			// Stale data (r0=1, r1=0) is possible under adverse schedules:
+			// the two stores take independent paths to different homes.
+		},
+		{
+			Name:   "MP+fence",
+			Doc:    "message passing with FENCE before the flag (§2.3.5): stale data forbidden",
+			Region: Plain, NLocs: 2, NOut: 2,
+			Threads: []Thread{
+				{st(0, 42), fence, st(1, 1)},
+				{{Op: LdWait, Loc: 1, Out: 0}, ld(0, 1)},
+			},
+			Forbidden: func(o Outcome) bool { return o.R[0] == 1 && o.R[1] != 42 },
+		},
+		{
+			Name:   "LB",
+			Doc:    "load buffering: blocking loads return before the next store issues, so 1,1 is impossible",
+			Region: Plain, NLocs: 2, NOut: 2,
+			Threads: []Thread{
+				{ld(0, 0), st(1, 1)},
+				{ld(1, 1), st(0, 1)},
+			},
+			Forbidden: func(o Outcome) bool { return o.R[0] == 1 && o.R[1] == 1 },
+		},
+		{
+			Name:   "CoRR",
+			Doc:    "coherent read-read on a plain word: once the new value is seen the old may not return",
+			Region: Plain, NLocs: 1, NOut: 2,
+			Threads: []Thread{
+				{st(0, 1)},
+				{ld(0, 0), ld(0, 1)},
+			},
+			Stagger:   []sim.Time{0, 400 * sim.Nanosecond},
+			Forbidden: func(o Outcome) bool { return o.R[0] == 1 && o.R[1] == 0 },
+		},
+		{
+			Name:   "CoRR-coherent",
+			Doc:    "read-read on a replicated page: owner serialization forbids value regression",
+			Region: Coherent, NLocs: 1, NOut: 3,
+			Threads: []Thread{
+				{st(0, 1), st(0, 2)},
+				{ld(0, 0), ld(0, 1), ld(0, 2)},
+			},
+			Stagger: []sim.Time{0, 500 * sim.Nanosecond},
+			// Regression: the second write's value observed, then the
+			// first's again. Galactica's corrective updates produce exactly
+			// this; the owner-based protocols must not.
+			Forbidden: func(o Outcome) bool {
+				saw2 := false
+				for _, r := range o.R {
+					if r == 2 {
+						saw2 = true
+					} else if r == 1 && saw2 {
+						return true
+					}
+				}
+				return false
+			},
+		},
+		{
+			Name:   "IRIW",
+			Doc:    "independent reads of independent writes on plain words: blocking home-serialized reads forbid the split",
+			Region: Plain, NLocs: 2, NOut: 4,
+			Threads: []Thread{
+				{st(0, 1)},
+				{st(1, 1)},
+				{ld(0, 0), ld(1, 1)},
+				{ld(1, 2), ld(0, 3)},
+			},
+			Stagger: []sim.Time{0, 200 * sim.Nanosecond, 100 * sim.Nanosecond, 100 * sim.Nanosecond},
+			Forbidden: func(o Outcome) bool {
+				return o.R[0] == 1 && o.R[1] == 0 && o.R[2] == 1 && o.R[3] == 0
+			},
+		},
+		{
+			Name:   "IRIW-coherent",
+			Doc:    "IRIW on one replicated page: owner serialization orders the writes, reflections may still race",
+			Region: Coherent, NLocs: 2, NOut: 4,
+			Threads: []Thread{
+				{st(0, 1)},
+				{st(1, 1)},
+				{ld(0, 0), ld(1, 1)},
+				{ld(1, 2), ld(0, 3)},
+			},
+			Stagger: []sim.Time{0, 200 * sim.Nanosecond, 100 * sim.Nanosecond, 100 * sim.Nanosecond},
+			// Replica reads are not linearizable (a reflection in flight is
+			// an old value still visible), so the split outcome is merely
+			// observed, not forbidden.
+		},
+		{
+			Name:   "2W-observer",
+			Doc:    "two writers, page-owning observer (§2.4): Galactica shows 1,2,1; owner serialization never does",
+			Region: Coherent, NLocs: 1, NOut: 0,
+			Threads: []Thread{
+				{{Op: Delay, D: 10 * sim.Microsecond}}, // observer: watches applies
+				{st(0, 1)},
+				{st(0, 2)},
+			},
+			HomeThread: 0,
+			Ring:       []int{1, 0, 2}, // winner → observer → loser
+			Stagger:    []sim.Time{0, 0, 500 * sim.Nanosecond},
+			Watch:      &Watch{Thread: 0, Loc: 0},
+			Protocols:  []Protocol{Update, Galactica},
+			Forbidden:  func(o Outcome) bool { return o.ABA },
+			Witness:    func(o Outcome) bool { return o.ABA },
+			// The sweep must reproduce the paper's anomaly under the ring
+			// baseline (E8); the Telegraphos protocol must never show it.
+			WitnessUnder: []Protocol{Galactica},
+		},
+		{
+			Name:   "atomic-inc",
+			Doc:    "racing fetch&increments: every increment counts exactly once (§2.2.4)",
+			Region: Plain, NLocs: 1, NOut: 3,
+			Threads: []Thread{
+				{{Op: FAI, Loc: 0, Out: 0}, {Op: FAI, Loc: 0, Out: 0}},
+				{{Op: FAI, Loc: 0, Out: 1}, {Op: FAI, Loc: 0, Out: 1}},
+				{{Op: FAI, Loc: 0, Out: 2}, {Op: FAI, Loc: 0, Out: 2}},
+			},
+			Forbidden: func(o Outcome) bool { return o.Final[0] != 6 },
+		},
+		{
+			Name:   "atomic-swap",
+			Doc:    "fetch&store / compare&swap race: exactly one op fetches the initial value",
+			Region: Plain, NLocs: 1, NOut: 3,
+			Threads: []Thread{
+				{{Op: FAS, Loc: 0, Val: 0x10, Out: 0}},
+				{{Op: FAS, Loc: 0, Val: 0x20, Out: 1}},
+				{{Op: CAS, Loc: 0, Val: 0x30, Exp: 0, Out: 2}},
+			},
+			Stagger: []sim.Time{0, 150 * sim.Nanosecond, 300 * sim.Nanosecond},
+			Forbidden: func(o Outcome) bool {
+				zeros := 0
+				for _, r := range o.R {
+					if r == 0 {
+						zeros++
+					}
+				}
+				return zeros != 1
+			},
+		},
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"telegraphos/internal/addrspace"
 	"telegraphos/internal/consistency"
+	"telegraphos/internal/linearize"
 	"telegraphos/internal/trace"
 )
 
@@ -27,7 +28,37 @@ func (h *harness) checkInvariants() []Violation {
 	h.checkPlain(&vs)
 	h.checkAtomics(&vs)
 	h.checkFences(&vs)
+	h.checkLinearizable(&vs)
 	return vs
+}
+
+// checkLinearizable: the history reconstructed from the op-boundary
+// events, restricted to the single-copy words (the plain region and the
+// two atomic words), must be linearizable against the single-word object
+// model; and independently, the whole history must satisfy the §2.3.5
+// fence contract (zero outstanding count at completion, no pre-fence
+// write effect after the fence, no post-fence op before a pre-fence
+// write's effect). This subsumes the aggregate counts above with a full
+// interval-order argument, so protocol bugs that conspire to keep the
+// totals right are still caught.
+func (h *harness) checkLinearizable(vs *[]Violation) {
+	hist := linearize.FromTrace(h.log.Events())
+	locs := make(map[uint64]bool, h.sc.PlainWords+2)
+	plainOff := h.c.SharedOffset(h.plainVA.va)
+	plainHome := addrspace.NodeID(h.plainVA.home)
+	for w := 0; w < h.sc.PlainWords; w++ {
+		locs[uint64(addrspace.NewGAddr(plainHome, plainOff+8*uint64(w)))] = true
+	}
+	atomOff := h.c.SharedOffset(h.atomVA.va)
+	atomHome := addrspace.NodeID(h.atomVA.home)
+	locs[uint64(addrspace.NewGAddr(atomHome, atomOff))] = true
+	locs[uint64(addrspace.NewGAddr(atomHome, atomOff+8))] = true
+	if err := linearize.CheckLocs(hist, locs); err != nil {
+		checkOne(vs, "linearizability", "%v", err)
+	}
+	if err := linearize.CheckFences(hist); err != nil {
+		checkOne(vs, "fence-order", "%v", err)
+	}
 }
 
 // checkDrain: after quiescence nothing may remain in flight — no

@@ -32,10 +32,23 @@ const (
 	EvReflectApply
 	// EvFenceStart marks a FENCE beginning to drain (§2.3.5).
 	EvFenceStart
-	// EvFenceEnd marks a FENCE observing zero outstanding operations.
+	// EvFenceEnd marks a FENCE observing zero outstanding operations;
+	// Val carries the outstanding-operation count at completion (zero in
+	// a correct board — the linearize fence checker asserts it).
 	EvFenceEnd
 	// EvMsgDeliver is a bulk message payload delivered to its sink.
 	EvMsgDeliver
+	// EvOpInvoke marks a program-level operation crossing the HIB (or
+	// DSM) boundary: Addr is the global address, Val the argument, and
+	// Aux packs the boundary op code and a per-node sequence number
+	// (BoundaryAux). Paired with the EvOpReturn carrying the same Aux.
+	EvOpInvoke
+	// EvOpReturn closes an EvOpInvoke interval: Val is the value the
+	// operation returned to the program (0 for writes).
+	EvOpReturn
+	// EvOpArg carries an extra operand for the EvOpInvoke with the same
+	// Aux (the compare&swap expected value).
+	EvOpArg
 )
 
 var kindNames = map[EventKind]string{
@@ -48,6 +61,62 @@ var kindNames = map[EventKind]string{
 	EvFenceStart:      "fence-start",
 	EvFenceEnd:        "fence-end",
 	EvMsgDeliver:      "msg-deliver",
+	EvOpInvoke:        "op-invoke",
+	EvOpReturn:        "op-return",
+	EvOpArg:           "op-arg",
+}
+
+// BoundaryOp classifies a program-level operation recorded at the HIB op
+// boundary (EvOpInvoke/EvOpReturn events). The history builder in
+// internal/linearize maps these onto object-model operations.
+type BoundaryOp uint8
+
+// Boundary op codes.
+const (
+	// BOpRead is a load (blocking: remote reads stall the processor).
+	BOpRead BoundaryOp = iota + 1
+	// BOpWrite is a store (remote stores are non-blocking: the response
+	// marks the HIB latch, the effect is the matching apply/serialize).
+	BOpWrite
+	// BOpFetchInc is an atomic fetch&increment launch.
+	BOpFetchInc
+	// BOpFetchStore is an atomic fetch&store launch.
+	BOpFetchStore
+	// BOpCompareSwap is an atomic compare&swap launch (the expected value
+	// travels in an EvOpArg event with the same Aux).
+	BOpCompareSwap
+	// BOpPageIn is a DSM page transfer driven by a fault (read or write
+	// fault service; Val carries the fault access mode).
+	BOpPageIn
+)
+
+var boundaryNames = map[BoundaryOp]string{
+	BOpRead:        "read",
+	BOpWrite:       "write",
+	BOpFetchInc:    "fetch&inc",
+	BOpFetchStore:  "fetch&store",
+	BOpCompareSwap: "compare&swap",
+	BOpPageIn:      "page-in",
+}
+
+// String names the boundary op.
+func (b BoundaryOp) String() string {
+	if s, ok := boundaryNames[b]; ok {
+		return s
+	}
+	return fmt.Sprintf("BoundaryOp(%d)", uint8(b))
+}
+
+// BoundaryAux packs a boundary op code and a per-node sequence number
+// into an event's Aux field. The sequence number pairs each EvOpReturn
+// (and EvOpArg) with its EvOpInvoke.
+func BoundaryAux(op BoundaryOp, seq uint64) uint64 {
+	return uint64(op)<<56 | seq&((1<<56)-1)
+}
+
+// SplitBoundaryAux unpacks a BoundaryAux value.
+func SplitBoundaryAux(aux uint64) (BoundaryOp, uint64) {
+	return BoundaryOp(aux >> 56), aux & ((1 << 56) - 1)
 }
 
 // String names the kind.

@@ -26,4 +26,34 @@ go test ./internal/experiments -run TestExperimentsShardInvariant -cpu 1,4 -coun
 echo '== tgchaos 2-shard smoke'
 go run ./cmd/tgchaos -seeds 10 -shards 2
 
+# Memory-model conformance: the trimmed litmus matrix must be free of
+# linearizability/fence violations and must still reproduce the
+# Galactica baseline's §2.4 anomaly.
+echo '== tglitmus quick sweep'
+go run ./cmd/tglitmus -quick
+
+echo '== linearizability smoke (fuzz corpora replay)'
+go test ./internal/linearize ./internal/consistency -count 1
+
+# Coverage ratchet for the checker packages: raise the minimum when you
+# raise the coverage, never lower it.
+echo '== checker coverage ratchet'
+check_cover() {
+	pkg="$1"; min="$2"
+	profile=$(mktemp); trap 'rm -f "$profile"' EXIT
+	pct=$(go test -coverprofile="$profile" "./$pkg" \
+		| sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
+	rm -f "$profile"
+	if [ -z "$pct" ]; then
+		echo "coverage ratchet: no coverage figure for $pkg" >&2; exit 1
+	fi
+	if [ "$(awk -v p="$pct" -v m="$min" 'BEGIN{print (p>=m)?1:0}')" != 1 ]; then
+		echo "coverage ratchet: $pkg at ${pct}%, minimum is ${min}%" >&2; exit 1
+	fi
+	echo "   $pkg ${pct}% (minimum ${min}%)"
+}
+check_cover internal/linearize 85
+check_cover internal/litmus 75
+check_cover internal/consistency 90
+
 echo 'tier-1: all checks passed'
