@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race chaos litmus bench fuzz
+.PHONY: check build vet lint test race chaos litmus bench fuzz
 
 # Tier-1 verify: build + vet + tests + race detector.
 check:
@@ -11,6 +11,11 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Determinism & shard-safety lint suite (see cmd/tgvet and DESIGN.md
+# "Static determinism checking").
+lint:
+	$(GO) run ./cmd/tgvet ./...
 
 test:
 	$(GO) test ./...

@@ -1,0 +1,15 @@
+// Command tgvet runs the simulator's static determinism and
+// shard-safety lint suite (see internal/analysis). `tgvet ./...` must
+// exit clean on this repository; scripts/check.sh runs it before the
+// test phases.
+package main
+
+import (
+	"os"
+
+	"telegraphos/internal/analysis"
+)
+
+func main() {
+	os.Exit(analysis.Main(os.Args[1:], os.Stdout, os.Stderr))
+}

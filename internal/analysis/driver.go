@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Exit codes of the tgvet driver.
+const (
+	ExitClean = 0 // no unsuppressed diagnostics
+	ExitDiags = 1 // at least one diagnostic
+	ExitError = 2 // usage or load failure
+)
+
+// Main is the tgvet entry point (cmd/tgvet is a thin wrapper so the
+// driver itself sits under test and the coverage ratchet). args are the
+// command-line arguments after the program name; the return value is
+// the process exit code.
+func Main(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tgvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array (machine-readable)")
+	list := fs.Bool("list", false, "list the analyzers and their invariants, then exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: tgvet [-json] [-list] [packages]\n\n"+
+			"tgvet statically checks the simulator's determinism and shard-safety\n"+
+			"contracts. Packages are directories or ./... patterns; default ./...\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return ExitError
+	}
+	if *list {
+		for _, a := range Analyzers() {
+			fmt.Fprintf(stdout, "%-11s %s\n", a.Name, a.Doc)
+		}
+		return ExitClean
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "tgvet: %v\n", err)
+		return ExitError
+	}
+	diags, err := Run(cwd, fs.Args())
+	if err != nil {
+		fmt.Fprintf(stderr, "tgvet: %v\n", err)
+		return ExitError
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(stderr, "tgvet: %v\n", err)
+			return ExitError
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if len(diags) > 0 {
+		return ExitDiags
+	}
+	return ExitClean
+}
+
+// Run loads the packages matching patterns (resolved relative to dir)
+// and returns the suite's unsuppressed diagnostics, with file paths
+// relative to the module root. An empty pattern list means ./...
+func Run(dir string, patterns []string) ([]Diagnostic, error) {
+	l, err := NewLoader(dir)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := resolvePatterns(l, dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	for _, pkgDir := range dirs {
+		pkg, err := l.LoadDir(pkgDir)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, Check(pkg)...)
+	}
+	for i := range diags {
+		if rel, err := filepath.Rel(l.ModRoot, diags[i].File); err == nil {
+			diags[i].File = filepath.ToSlash(rel)
+		}
+	}
+	return diags, nil
+}
+
+// resolvePatterns expands package patterns into package directories.
+// Supported forms: a directory path ("./internal/sim", "internal/sim"),
+// and a recursive pattern ("./...", "./internal/...").
+func resolvePatterns(l *Loader, base string, patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		if rest, ok := strings.CutSuffix(pat, "..."); ok {
+			root := filepath.Join(base, filepath.FromSlash(strings.TrimSuffix(rest, "/")))
+			sub, err := l.Walk(root)
+			if err != nil {
+				return nil, fmt.Errorf("pattern %q: %w", pat, err)
+			}
+			for _, d := range sub {
+				add(d)
+			}
+			continue
+		}
+		d := pat
+		if !filepath.IsAbs(d) {
+			d = filepath.Join(base, filepath.FromSlash(pat))
+		}
+		info, err := os.Stat(d)
+		if err != nil || !info.IsDir() {
+			return nil, fmt.Errorf("package %q: not a directory", pat)
+		}
+		add(d)
+	}
+	return dirs, nil
+}

@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// AnalyzerEventDrop proves the timer-ownership contract: the *sim.Event
+// returned by Engine.Schedule / Engine.At is kept, not discarded. A
+// dropped handle can never be cancelled, so the event sits in the shard
+// heap until it fires — the ARQ-retransmission-guard leak class that
+// forced heap compaction in the sharded engine. Zero-delay wakeups
+// (Schedule(0, ...)) are exempt: they fire within the current instant,
+// so there is no window in which cancelling them is meaningful.
+// Delayed one-shot timers that genuinely always fire are annotated
+// //tgvet:allow eventdrop(reason).
+var AnalyzerEventDrop = &Analyzer{
+	Name: "eventdrop",
+	Doc:  "delayed *sim.Event handles must be kept so the timer can be cancelled",
+	Run:  runEventDrop,
+}
+
+// eventdropSources maps event-returning callees to the index of their
+// delay argument (-1: always flag when dropped).
+var eventdropSources = map[string]int{
+	"telegraphos/internal/sim.Engine.Schedule": 0,
+	"telegraphos/internal/sim.Engine.At":       -1,
+}
+
+func runEventDrop(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = ast.Unparen(n.X).(*ast.CallExpr)
+			case *ast.AssignStmt:
+				// `_ = e.Schedule(...)` is still a drop.
+				if len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+					if id, ok := n.Lhs[0].(*ast.Ident); ok && id.Name == "_" {
+						call, _ = ast.Unparen(n.Rhs[0]).(*ast.CallExpr)
+					}
+				}
+			}
+			if call == nil {
+				return true
+			}
+			key := methodKey(calleeOf(info, call))
+			delayIdx, ok := eventdropSources[key]
+			if !ok {
+				return true
+			}
+			if delayIdx >= 0 && delayIdx < len(call.Args) && isConstZero(info, call.Args[delayIdx]) {
+				return true // same-instant wakeup: nothing to cancel
+			}
+			short := key[len("telegraphos/internal/sim."):]
+			pass.Reportf(call.Pos(),
+				"*sim.Event returned by %s is discarded: a dropped handle can never be cancelled and sits in the shard heap until it fires (the ARQ-timer leak class) — keep the handle, or annotate //tgvet:allow eventdrop(reason) if the timer provably always fires",
+				short)
+			return true
+		})
+	}
+}

@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"go/ast"
+	"path/filepath"
+	"strconv"
+)
+
+// AnalyzerGlobalRand proves the randomness contract: every random draw
+// flows through a per-shard sim.RNG stream. The global math/rand
+// generator (and private rand.New sources) are platform- and
+// Go-version-dependent, shared across goroutines, and invisible to the
+// seed plumbing — any use outside internal/sim/rng.go breaks the
+// bit-identical-traces guarantee the determinism tests rely on.
+// internal/sim/rng.go is the one sanctioned home (it documents the
+// splitmix64 stream the rest of the simulator forks from).
+var AnalyzerGlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "randomness must flow through per-shard sim.RNG streams, not math/rand",
+	Run:  runGlobalRand,
+}
+
+// globalrandExemptFile is the one file allowed to touch math/rand: the
+// home of the simulator's own RNG.
+const globalrandExemptFile = "rng.go"
+
+// globalrandExemptPkg is that file's package.
+const globalrandExemptPkg = "telegraphos/internal/sim"
+
+func runGlobalRand(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		filename := pass.Pkg.Fset.Position(f.Pos()).Filename
+		if filepath.Base(filename) == globalrandExemptFile && pass.Pkg.ImportPath == globalrandExemptPkg {
+			continue
+		}
+		// Imports that bind no qualifier still smuggle the package in.
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || !isMathRand(path) {
+				continue
+			}
+			if imp.Name != nil && (imp.Name.Name == "_" || imp.Name.Name == ".") {
+				pass.Reportf(imp.Pos(),
+					"%s import of %s: randomness must flow through per-shard sim.RNG streams (sim.NewRNG / RNG.Fork)",
+					imp.Name.Name, path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if !isMathRand(importedPath(pass.Pkg.Info, sel.X)) {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"global math/rand use (rand.%s): randomness must flow through per-shard sim.RNG streams (sim.NewRNG / RNG.Fork) so runs stay a pure function of their seed",
+				sel.Sel.Name)
+			return true
+		})
+	}
+}
+
+func isMathRand(path string) bool {
+	return path == "math/rand" || path == "math/rand/v2"
+}

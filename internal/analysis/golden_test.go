@@ -1,0 +1,20 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"telegraphos/internal/analysis"
+	"telegraphos/internal/analysis/analysistest"
+)
+
+// TestGolden runs every analyzer over its testdata package: each
+// // want comment must be reported, and nothing else may be.
+func TestGolden(t *testing.T) {
+	analysistest.RunSuite(t, "testdata/src", map[string]*analysis.Analyzer{
+		"walltime":   analysis.AnalyzerWalltime,
+		"globalrand": analysis.AnalyzerGlobalRand,
+		"maporder":   analysis.AnalyzerMapOrder,
+		"shardlocal": analysis.AnalyzerShardLocal,
+		"eventdrop":  analysis.AnalyzerEventDrop,
+	})
+}

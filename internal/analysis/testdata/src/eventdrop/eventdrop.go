@@ -1,0 +1,32 @@
+// Package eventdrop is golden testdata for the eventdrop analyzer: a
+// delayed *sim.Event handle must be kept so the timer can be cancelled.
+package eventdrop
+
+import "telegraphos/internal/sim"
+
+func dropDelayed(eng *sim.Engine, d sim.Time) {
+	eng.Schedule(d, func() {})     // want `\*sim.Event returned by Engine.Schedule is discarded`
+	_ = eng.Schedule(d, func() {}) // want "Engine.Schedule is discarded"
+	eng.At(42, func() {})          // want "Engine.At is discarded"
+}
+
+// Zero-delay wakeups fire within the current instant: nothing to
+// cancel, so dropping them is fine.
+func dropImmediate(eng *sim.Engine) {
+	eng.Schedule(0, func() {})
+}
+
+// Keeping the handle is the sanctioned pattern.
+func keep(eng *sim.Engine, d sim.Time) *sim.Event {
+	return eng.Schedule(d, func() {})
+}
+
+func keepAndCancel(eng *sim.Engine, d sim.Time) {
+	ev := eng.Schedule(d, func() {})
+	ev.Cancel()
+}
+
+// The escape hatch declares always-firing one-shot timers.
+func allowedDrop(eng *sim.Engine, d sim.Time) {
+	eng.Schedule(d, func() {}) //tgvet:allow eventdrop(one-shot end-of-scenario timer that always fires)
+}

@@ -1,0 +1,71 @@
+// Package maporder is golden testdata for the maporder analyzer: map
+// iteration must not drive order-sensitive effects.
+package maporder
+
+import (
+	"fmt"
+
+	"telegraphos/internal/sim"
+)
+
+func scheduleInMapOrder(eng *sim.Engine, timers map[int]sim.Time) {
+	for _, d := range timers { // want "iteration over map timers schedules an event"
+		ev := eng.Schedule(d, func() {})
+		_ = ev
+	}
+}
+
+func spawnInMapOrder(eng *sim.Engine, names map[string]bool) {
+	for name := range names { // want "spawns a process"
+		eng.Spawn(name, func(p *sim.Proc) {})
+	}
+}
+
+func printInMapOrder(counts map[string]int) {
+	for k, v := range counts { // want "writes output via fmt.Printf"
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+func collectInMapOrder(set map[int]bool) []int {
+	var keys []int
+	for k := range set { // want `appends to "keys" declared outside the loop`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func sendInMapOrder(set map[int]bool, ch chan int) {
+	for k := range set { // want "sends on a channel"
+		ch <- k
+	}
+}
+
+// Commutative aggregation in map order is fine: integer sums and local
+// scratch state do not depend on iteration order.
+func countInMapOrder(set map[int]bool) int {
+	n := 0
+	for k := range set {
+		var scratch []int
+		scratch = append(scratch, k)
+		n += len(scratch)
+	}
+	return n
+}
+
+// Slices have a defined order: effects inside are fine.
+func sendInSliceOrder(xs []int, ch chan int) {
+	for _, x := range xs {
+		ch <- x
+	}
+}
+
+// The escape hatch declares collect-then-sort loops benign.
+func sortedCollect(set map[int]bool) []int {
+	var keys []int
+	//tgvet:allow maporder(keys are sorted by the caller before any effect depends on them)
+	for k := range set {
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,49 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// walltimeFuncs are the package time functions that read or act on the
+// host's wall clock. Pure conversions and types (time.Duration,
+// time.Millisecond) are not flagged: they carry no hidden clock.
+var walltimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// AnalyzerWalltime proves the sim-time contract: simulation code never
+// reads the wall clock. All time inside the model flows from sim.Time
+// (Engine.Now / Proc.Now), which is what makes a run a pure function of
+// its seed — a single time.Now() in a model path silently couples event
+// ordering to host scheduling. Genuine wall-clock reporting (benchmark
+// harnesses measuring host performance) is declared with
+// //tgvet:allow walltime(reason).
+var AnalyzerWalltime = &Analyzer{
+	Name: "walltime",
+	Doc:  "simulation code must use sim.Time, never the host wall clock",
+	Run:  runWalltime,
+}
+
+func runWalltime(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if importedPath(pass.Pkg.Info, sel.X) != "time" || !walltimeFuncs[sel.Sel.Name] {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"wall-clock time.%s in simulation code: simulated time must come from sim.Time (Engine.Now/Proc.Now); for genuine host-side measurement annotate //tgvet:allow walltime(reason)",
+				sel.Sel.Name)
+			return true
+		})
+	}
+}

@@ -175,6 +175,7 @@ func (m *InvalidateMgr) acquireExclusive(p *sim.Proc, pn addrspace.PageNum, dir 
 	// Sort holders so packet emission order (and thus the simulation) is
 	// deterministic.
 	holders := make([]addrspace.NodeID, 0, len(dir.holders))
+	//tgvet:allow maporder(keys are sorted by slices.Sort below before any packet is emitted)
 	for h := range dir.holders {
 		holders = append(holders, h)
 	}

@@ -13,6 +13,7 @@ const BruteMaxVals = 8
 func BruteCheckCoherent(histories map[string][]uint64) bool {
 	seen := make(map[uint64]bool)
 	var vals []uint64
+	//tgvet:allow maporder(vals only seeds an exhaustive search; the boolean verdict is independent of enumeration order)
 	for _, h := range histories {
 		for _, v := range h {
 			if !seen[v] {

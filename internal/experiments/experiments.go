@@ -128,6 +128,7 @@ var registry = map[string]Runner{
 // IDs lists experiment identifiers in order.
 func IDs() []string {
 	ids := make([]string, 0, len(registry))
+	//tgvet:allow maporder(keys are sorted by the sort.Slice below before use)
 	for id := range registry {
 		ids = append(ids, id)
 	}

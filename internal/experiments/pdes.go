@@ -103,11 +103,11 @@ func pdesRun(nodes, shards, ops int) (wall time.Duration, events, critPath uint6
 			ctx.Fence()
 		})
 	}
-	start := time.Now()
+	start := time.Now() //tgvet:allow walltime(PDES bench measures real host wall-clock, not simulated time)
 	if err := c.Run(); err != nil {
 		panic(err)
 	}
-	wall = time.Since(start)
+	wall = time.Since(start) //tgvet:allow walltime(host-side wall-clock measurement paired with the start stamp above)
 	return wall, c.Group.Executed(), c.Group.CritPath(), c.Group.Now()
 }
 

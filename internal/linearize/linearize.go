@@ -161,6 +161,7 @@ func Check(h *History) error {
 func CheckLocs(h *History, locs map[uint64]bool) error {
 	parts := h.ByLoc()
 	keys := make([]uint64, 0, len(parts))
+	//tgvet:allow maporder(keys are insertion-sorted immediately below before any partition is checked)
 	for loc := range parts {
 		if locs != nil && !locs[loc] {
 			continue

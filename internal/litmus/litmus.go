@@ -210,6 +210,7 @@ func hasABA(vals []uint64) bool {
 // sortedKeys returns m's keys in lexical order.
 func sortedKeys[V any](m map[string]V) []string {
 	out := make([]string, 0, len(m))
+	//tgvet:allow maporder(keys are sorted by sort.Strings below before use)
 	for k := range m {
 		out = append(out, k)
 	}

@@ -176,6 +176,7 @@ func Sweep(opts SweepOptions) *SweepResult {
 	// Shard invariance: identical configs must produce identical traces
 	// regardless of shard count.
 	hkeys := make([]hashKey, 0, len(hashes))
+	//tgvet:allow maporder(keys are sorted by the sort.Slice below before the invariance check)
 	for hk := range hashes {
 		hkeys = append(hkeys, hk)
 	}
@@ -224,6 +225,7 @@ func Sweep(opts SweepOptions) *SweepResult {
 // Report renders the sweep's outcome histograms and verdicts.
 func (r *SweepResult) Report(w io.Writer) {
 	keys := make([]CellKey, 0, len(r.Cells))
+	//tgvet:allow maporder(keys are sorted by the sort.Slice below before the report is rendered)
 	for k := range r.Cells {
 		keys = append(keys, k)
 	}

@@ -8,7 +8,6 @@ package paging
 
 import (
 	"fmt"
-	"math/rand"
 
 	"telegraphos/internal/addrspace"
 	"telegraphos/internal/core"
@@ -62,8 +61,15 @@ type Result struct {
 // GenRefs generates n page references over `pages` distinct pages with
 // temporal locality: with probability locality the next reference stays
 // within a small hot window that drifts across the address space.
+// The reference string is a pure function of seed: it draws from a
+// labeled sim.RNG stream, never from global math/rand, so E10 inputs
+// are bit-identical across platforms and shard layouts.
 func GenRefs(seed int64, n, pages int, locality float64, writeFrac float64) []Ref {
-	rng := rand.New(rand.NewSource(seed))
+	return GenRefsFrom(sim.ForkRNG(uint64(seed), "paging/refs"), n, pages, locality, writeFrac)
+}
+
+// GenRefsFrom is GenRefs drawing from an injected stream.
+func GenRefsFrom(rng *sim.RNG, n, pages int, locality float64, writeFrac float64) []Ref {
 	refs := make([]Ref, n)
 	hot := 0
 	window := max(pages/8, 1)

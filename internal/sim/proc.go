@@ -44,6 +44,7 @@ func (e *Engine) spawn(name string, fn func(*Proc), daemon bool) *Proc {
 	if !daemon {
 		e.alive++
 	}
+	//tgvet:allow shardlocal(this launch IS the hand-off discipline: the goroutine parks on p.run until wake() lends it the engine's thread)
 	go func() {
 		<-p.run // wait for the first resume
 		defer func() {
@@ -98,7 +99,7 @@ func (p *Proc) Sleep(d Time) {
 		// events already scheduled for this instant.
 		d = 0
 	}
-	p.eng.Schedule(d, p.wake)
+	p.eng.Schedule(d, p.wake) //tgvet:allow eventdrop(a sleep timer always fires: the process parks until this wake and holds no cancel path)
 	p.park()
 }
 

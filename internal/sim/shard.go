@@ -209,6 +209,7 @@ func (g *Group) RunUntil(deadline Time) error {
 		}
 		for _, w := range runnable[:len(runnable)-1] {
 			wg.Add(1)
+			//tgvet:allow shardlocal(the round scheduler itself: workers run disjoint shards and join at the barrier before any state is shared)
 			go func(e *Engine, cap Time) {
 				defer wg.Done()
 				defer func() {

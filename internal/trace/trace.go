@@ -10,7 +10,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
-	"math/rand"
+
+	"telegraphos/internal/sim"
 )
 
 // Access is one shared-memory reference.
@@ -58,8 +59,16 @@ func Summarize(t []Access) Stats {
 // HotPage generates a trace where every node hammers a small hot region:
 // with probability hotFrac an access lands in the first hotWords words,
 // otherwise uniformly in [0, words). Accesses round-robin across nodes.
+// The trace is a pure function of seed: it draws from a labeled
+// sim.RNG stream, never from global math/rand, so the same seed yields
+// the same trace on every platform and under any shard layout.
 func HotPage(seed int64, n, nodes, words, hotWords int, hotFrac, writeFrac float64) []Access {
-	rng := rand.New(rand.NewSource(seed))
+	return HotPageFrom(sim.ForkRNG(uint64(seed), "trace/hotpage"), n, nodes, words, hotWords, hotFrac, writeFrac)
+}
+
+// HotPageFrom is HotPage drawing from an injected stream, for callers
+// that thread one scenario seed through many generators.
+func HotPageFrom(rng *sim.RNG, n, nodes, words, hotWords int, hotFrac, writeFrac float64) []Access {
 	t := make([]Access, n)
 	for i := range t {
 		w := rng.Intn(words)
@@ -88,9 +97,14 @@ func ProducerConsumer(iters, nodes, words int) []Access {
 	return t
 }
 
-// Uniform generates uniformly random accesses.
+// Uniform generates uniformly random accesses. Like HotPage it is a
+// pure function of seed, drawing from a labeled sim.RNG stream.
 func Uniform(seed int64, n, nodes, words int, writeFrac float64) []Access {
-	rng := rand.New(rand.NewSource(seed))
+	return UniformFrom(sim.ForkRNG(uint64(seed), "trace/uniform"), n, nodes, words, writeFrac)
+}
+
+// UniformFrom is Uniform drawing from an injected stream.
+func UniformFrom(rng *sim.RNG, n, nodes, words int, writeFrac float64) []Access {
 	t := make([]Access, n)
 	for i := range t {
 		t[i] = Access{Node: rng.Intn(nodes), Write: rng.Float64() < writeFrac, Word: rng.Intn(words)}

@@ -10,6 +10,13 @@ go build ./...
 echo '== go vet ./...'
 go vet ./...
 
+# Determinism & shard-safety lints: no wall clock or global math/rand in
+# sim-facing code, no effectful map-range iteration, no blocking calls in
+# event callbacks, no dropped event handles. Must exit clean before the
+# test phases run.
+echo '== tgvet ./...'
+go run ./cmd/tgvet ./...
+
 echo '== go test ./...'
 go test ./...
 
@@ -55,5 +62,6 @@ check_cover() {
 check_cover internal/linearize 85
 check_cover internal/litmus 75
 check_cover internal/consistency 90
+check_cover internal/analysis 80
 
 echo 'tier-1: all checks passed'
