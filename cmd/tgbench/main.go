@@ -10,13 +10,17 @@
 //	tgbench -json                    # machine-readable results
 //	tgbench -list                    # list experiment ids and titles
 //	tgbench -shards 4                # run the suite on 4 simulation shards
+//	tgbench -permsg                  # legacy per-message barrier delivery
 //	tgbench -pdes -out BENCH.json    # PDES node×shard scaling sweep
+//	                                 # (also records BENCH.floor, the CI
+//	                                 # throughput gate scripts/check.sh uses)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"telegraphos/internal/experiments"
 )
@@ -27,12 +31,14 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit results as JSON")
 	seed := flag.Int64("seed", 1, "deterministic base seed (same seed → bit-identical output)")
 	shards := flag.Int("shards", 1, "simulation shards (results are invariant to this; only wall time changes)")
+	perMsg := flag.Bool("permsg", false, "legacy per-message barrier delivery instead of batched hand-off (results are invariant; only wall time changes)")
 	pdes := flag.Bool("pdes", false, "run the PDES node×shard scaling sweep instead of the experiments")
-	out := flag.String("out", "", "with -pdes: also write the sweep report as JSON to this file")
+	out := flag.String("out", "", "with -pdes: also write the sweep report as JSON to this file (plus the throughput floor as <file>.floor)")
 	flag.Parse()
 
 	experiments.SetSeed(*seed)
 	experiments.SetShards(*shards)
+	experiments.SetPerMessageDelivery(*perMsg)
 
 	if *pdes {
 		rep := experiments.PDESSweep(
@@ -56,6 +62,12 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Printf("wrote %s\n", *out)
+			floorPath := strings.TrimSuffix(*out, ".json") + ".floor"
+			if err := experiments.WriteFloor(floorPath, experiments.FloorFor(rep)); err != nil {
+				fmt.Fprintf(os.Stderr, "tgbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", floorPath)
 		}
 		return
 	}

@@ -12,6 +12,7 @@
 //	tgchaos -clean             # fault-free control sweep
 //	tgchaos -broken            # sanity: the broken protocol must be caught
 //	tgchaos -shards 2          # sharded engine (hashes match -shards 1)
+//	tgchaos -permsg            # legacy per-message barrier delivery
 //
 // Exit status 1 if any scenario violated an invariant.
 package main
@@ -33,6 +34,7 @@ func main() {
 	stop := flag.Bool("stop-on-fail", false, "stop at the first failing seed")
 	verbose := flag.Bool("v", false, "print every scenario, not just failures")
 	shards := flag.Int("shards", 1, "simulation shards (trace hashes are invariant to this)")
+	perMsg := flag.Bool("permsg", false, "legacy per-message barrier delivery (trace hashes are invariant to this)")
 	flag.Parse()
 
 	lo, hi := *start, *start+*seeds
@@ -43,7 +45,7 @@ func main() {
 
 	failures := 0
 	for seed := lo; seed < hi; seed++ {
-		res, err := simtest.Run(seed, simtest.Options{NoFaults: *clean, BreakCoherence: *broken, Shards: *shards})
+		res, err := simtest.Run(seed, simtest.Options{NoFaults: *clean, BreakCoherence: *broken, Shards: *shards, PerMessageDelivery: *perMsg})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tgchaos: seed %d: %v\n", seed, err)
 			os.Exit(1)

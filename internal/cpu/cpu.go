@@ -96,59 +96,63 @@ func (x *Ctx) translate(va addrspace.VAddr, access mmu.Access) addrspace.PAddr {
 
 // Load performs a load instruction. A load from a remote mapping blocks
 // until the data returns (§2.2.1).
+//
+// The instruction-issue cost rides into the access itself (translation is
+// performed first, the CPUOp charge folded into the memory sleep or the
+// first bus reservation), so an uncontended access parks the process once
+// instead of twice; completion times are unchanged.
 func (x *Ctx) Load(va addrspace.VAddr) uint64 {
 	x.CPU.Counters.Inc("loads")
-	x.P.Sleep(x.CPU.timing.CPUOp)
 	pa := x.translate(va, mmu.AccessRead)
 	if pa.IsIO() {
-		return x.CPU.HIB.CPURead(x.P, pa)
+		return x.CPU.HIB.CPUReadIssued(x.P, x.CPU.timing.CPUOp, pa)
 	}
-	x.P.Sleep(x.CPU.timing.LocalMemRead)
+	x.P.Sleep(x.CPU.timing.CPUOp + x.CPU.timing.LocalMemRead)
 	return x.CPU.Mem.ReadWord(pa.Offset())
 }
 
 // Store performs a store instruction. A store to a remote mapping
-// releases the processor as soon as the HIB latches it.
+// releases the processor as soon as the HIB latches it. Issue cost is
+// folded into the access as in Load.
 func (x *Ctx) Store(va addrspace.VAddr, v uint64) {
 	x.CPU.Counters.Inc("stores")
-	x.P.Sleep(x.CPU.timing.CPUOp)
 	pa := x.translate(va, mmu.AccessWrite)
 	if pa.IsIO() {
-		x.CPU.HIB.CPUWrite(x.P, pa, v)
+		x.CPU.HIB.CPUWriteIssued(x.P, x.CPU.timing.CPUOp, pa, v)
 		return
 	}
-	x.P.Sleep(x.CPU.timing.LocalMemWrit)
+	x.P.Sleep(x.CPU.timing.CPUOp + x.CPU.timing.LocalMemWrit)
 	x.CPU.Mem.WriteWord(pa.Offset(), v)
 }
 
 // TryLoad is Load but returns translation faults instead of invoking the
 // OS — used to observe protection behaviour.
 func (x *Ctx) TryLoad(va addrspace.VAddr) (uint64, error) {
-	x.P.Sleep(x.CPU.timing.CPUOp)
 	pa, fault := x.CPU.MMU.Translate(x.P, va, mmu.AccessRead)
 	if fault != nil {
+		x.P.Sleep(x.CPU.timing.CPUOp)
 		return 0, fault
 	}
 	if pa.IsIO() {
-		return x.CPU.HIB.CPURead(x.P, pa), nil
+		return x.CPU.HIB.CPUReadIssued(x.P, x.CPU.timing.CPUOp, pa), nil
 	}
-	x.P.Sleep(x.CPU.timing.LocalMemRead)
+	x.P.Sleep(x.CPU.timing.CPUOp + x.CPU.timing.LocalMemRead)
 	return x.CPU.Mem.ReadWord(pa.Offset()), nil
 }
 
 // TryStore is Store but returns translation faults instead of invoking
 // the OS.
 func (x *Ctx) TryStore(va addrspace.VAddr, v uint64) error {
-	x.P.Sleep(x.CPU.timing.CPUOp)
 	pa, fault := x.CPU.MMU.Translate(x.P, va, mmu.AccessWrite)
 	if fault != nil {
+		x.P.Sleep(x.CPU.timing.CPUOp)
 		return fault
 	}
 	if pa.IsIO() {
-		x.CPU.HIB.CPUWrite(x.P, pa, v)
+		x.CPU.HIB.CPUWriteIssued(x.P, x.CPU.timing.CPUOp, pa, v)
 		return nil
 	}
-	x.P.Sleep(x.CPU.timing.LocalMemWrit)
+	x.P.Sleep(x.CPU.timing.CPUOp + x.CPU.timing.LocalMemWrit)
 	x.CPU.Mem.WriteWord(pa.Offset(), v)
 	return nil
 }
@@ -162,23 +166,20 @@ func (x *Ctx) Fence() {
 
 // ioWrite issues one uncached store to a HIB register.
 func (x *Ctx) ioWrite(pa addrspace.PAddr, v uint64) {
-	x.P.Sleep(x.CPU.timing.CPUOp)
-	x.CPU.HIB.CPUWrite(x.P, pa, v)
+	x.CPU.HIB.CPUWriteIssued(x.P, x.CPU.timing.CPUOp, pa, v)
 }
 
 // ioRead issues one uncached load from a HIB register.
 func (x *Ctx) ioRead(pa addrspace.PAddr) uint64 {
-	x.P.Sleep(x.CPU.timing.CPUOp)
-	return x.CPU.HIB.CPURead(x.P, pa)
+	return x.CPU.HIB.CPUReadIssued(x.P, x.CPU.timing.CPUOp, pa)
 }
 
 // shadowStore passes va's physical translation to the HIB context slot:
 // one store to the shadow image of va whose data word carries (context,
 // slot, key). The TLB performs the protection check (§2.2.4).
 func (x *Ctx) shadowStore(va addrspace.VAddr, slot int) {
-	x.P.Sleep(x.CPU.timing.CPUOp)
 	pa := x.translate(va.Shadow(), mmu.AccessWrite)
-	x.CPU.HIB.CPUWrite(x.P, pa, hib.ShadowArg(x.CPU.CtxID, slot, x.CPU.Key))
+	x.CPU.HIB.CPUWriteIssued(x.P, x.CPU.timing.CPUOp, pa, hib.ShadowArg(x.CPU.CtxID, slot, x.CPU.Key))
 }
 
 // atomic runs the user-level launch sequence for a remote atomic

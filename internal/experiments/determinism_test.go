@@ -41,18 +41,23 @@ func TestExperimentsDeterministic(t *testing.T) {
 	}
 }
 
-// TestExperimentsShardInvariant runs the full pipeline on 1 and 4
-// simulation shards and requires bit-identical serialized results: the
-// sharded engine may only change wall-clock time, never a measurement.
-// Run it with -cpu 1,4 (scripts/check.sh does) to also prove the results
-// do not depend on how many OS threads the shard workers share.
+// TestExperimentsShardInvariant runs the full pipeline on 1, 2, 4, and 8
+// simulation shards, with batched and per-message barrier delivery, and
+// requires bit-identical serialized results: the sharded engine may only
+// change wall-clock time, never a measurement. Run it with -cpu 1,4
+// (scripts/check.sh does) to also prove the results do not depend on how
+// many OS threads the shard workers share.
 func TestExperimentsShardInvariant(t *testing.T) {
 	if testing.Short() {
-		t.Skip("runs the full experiment suite twice")
+		t.Skip("runs the full experiment suite many times")
 	}
-	run := func(shards int) []byte {
+	run := func(shards int, perMsg bool) []byte {
 		SetShards(shards)
-		defer SetShards(1)
+		SetPerMessageDelivery(perMsg)
+		defer func() {
+			SetShards(1)
+			SetPerMessageDelivery(false)
+		}()
 		var buf bytes.Buffer
 		if err := WriteJSON(&buf, RunAll()); err != nil {
 			t.Fatalf("WriteJSON: %v", err)
@@ -60,11 +65,15 @@ func TestExperimentsShardInvariant(t *testing.T) {
 		return buf.Bytes()
 	}
 	SetSeed(1)
-	seq := run(1)
-	par := run(4)
-	if !bytes.Equal(seq, par) {
-		t.Fatalf("shards=4 diverges from shards=1:\nshards=1: %d bytes\nshards=4: %d bytes\nfirst divergence at byte %d",
-			len(seq), len(par), firstDiff(seq, par))
+	base := run(1, false)
+	for _, shards := range []int{2, 4, 8} {
+		for _, perMsg := range []bool{false, true} {
+			got := run(shards, perMsg)
+			if !bytes.Equal(got, base) {
+				t.Fatalf("shards=%d permsg=%v diverges from shards=1:\nshards=1: %d bytes\nvariant: %d bytes\nfirst divergence at byte %d",
+					shards, perMsg, len(base), len(got), firstDiff(base, got))
+			}
+		}
 	}
 }
 

@@ -1,0 +1,119 @@
+package experiments
+
+// The CI throughput floor: a regression gate recorded next to
+// BENCH_pdes.json. When `make bench` regenerates the PDES report it also
+// records a conservative single-shard events/sec floor plus a reference
+// spin time for the recording host; scripts/check.sh replays a short
+// benchmark and fails if throughput drops below the floor. The reference
+// spin is the slow-CI-host guard: a host that runs the fixed CPU-bound
+// reference slower than the recording host gets its floor scaled down
+// proportionally, so the gate catches engine regressions, not slow
+// hardware.
+
+import (
+	"encoding/json"
+	"os"
+	"time"
+
+	"telegraphos/internal/sim"
+)
+
+// ThroughputFloor is the recorded gate (serialized as BENCH_pdes.floor).
+type ThroughputFloor struct {
+	// Nodes and OpsPerNode pin the workload the floor was recorded on.
+	Nodes      int `json:"nodes"`
+	OpsPerNode int `json:"ops_per_node"`
+	// MinEventsPerSec is the single-shard floor on the recording host.
+	MinEventsPerSec float64 `json:"min_events_per_sec"`
+	// RefSpinNS is RefSpin's duration on the recording host; check hosts
+	// scale the floor by recorded/measured (clamped to 1).
+	RefSpinNS int64  `json:"ref_spin_ns"`
+	Note      string `json:"note"`
+}
+
+// floorFraction is the recorded floor as a fraction of the measured
+// single-shard throughput: generous enough to absorb run-to-run noise
+// and CI co-tenancy, tight enough that losing the zero-alloc hot path
+// (which costs well over 2×) still trips the gate.
+const floorFraction = 0.5
+
+// refSpinIters sizes the reference workload (~tens of ms of pure
+// splitmix64 arithmetic — long enough to be stable, short enough for CI).
+const refSpinIters = 1 << 24
+
+// RefSpin measures the fixed CPU-bound reference workload used to
+// calibrate the floor across hosts.
+func RefSpin() time.Duration {
+	start := time.Now() //tgvet:allow walltime(host-speed calibration for the CI floor, not simulation state)
+	r := sim.NewRNG(1)
+	var acc uint64
+	for i := 0; i < refSpinIters; i++ {
+		acc += r.Uint64()
+	}
+	elapsed := time.Since(start) //tgvet:allow walltime(paired with the start stamp above)
+	if acc == 0 {
+		// acc is never 0 for this seed; the branch pins the loop as live.
+		panic("experiments: reference spin folded away")
+	}
+	return elapsed
+}
+
+// FloorFor derives the floor from a freshly measured sweep: a fraction
+// of the slowest single-shard cell, stamped with this host's reference
+// spin.
+func FloorFor(rep *PDESReport) *ThroughputFloor {
+	slowest := 0.0
+	nodes := 0
+	for _, p := range rep.Points {
+		if p.Shards != 1 {
+			continue
+		}
+		if slowest == 0 || p.EventsPerSec < slowest {
+			slowest = p.EventsPerSec
+			nodes = p.Nodes
+		}
+	}
+	return &ThroughputFloor{
+		Nodes:           nodes,
+		OpsPerNode:      rep.OpsPerNode,
+		MinEventsPerSec: slowest * floorFraction,
+		RefSpinNS:       RefSpin().Nanoseconds(),
+		Note:            "single-shard events/sec gate; scaled by ref_spin on slower hosts (scripts/check.sh)",
+	}
+}
+
+// WriteFloor serializes the floor to path.
+func WriteFloor(path string, f *ThroughputFloor) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFloor loads a recorded floor.
+func ReadFloor(path string) (*ThroughputFloor, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	f := &ThroughputFloor{}
+	if err := json.Unmarshal(data, f); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Scaled reports the floor adjusted for the checking host: when the host
+// runs the reference spin slower than the recording host, the floor
+// drops proportionally; a faster host still checks the full floor.
+func (f *ThroughputFloor) Scaled(refNow time.Duration) float64 {
+	if f.RefSpinNS <= 0 || refNow <= 0 {
+		return f.MinEventsPerSec
+	}
+	scale := float64(f.RefSpinNS) / float64(refNow.Nanoseconds())
+	if scale > 1 {
+		scale = 1
+	}
+	return f.MinEventsPerSec * scale
+}

@@ -51,6 +51,9 @@ func (h *HIB) ClearPageCounter(gp addrspace.GPage) {
 // the alarm interrupt on the 1→0 transition. The interrupt argument
 // encodes the page via EncodePageArg.
 func (h *HIB) countAccess(gp addrspace.GPage, isWrite bool) {
+	if len(h.pageCounters) == 0 {
+		return // no armed counters: skip the map probe on the store path
+	}
 	pc, ok := h.pageCounters[gp]
 	if !ok {
 		return

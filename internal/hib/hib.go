@@ -56,6 +56,12 @@ type outItem struct {
 	fromCPU bool
 }
 
+// applyItem is one WriteReq whose MPM write is in flight (see HIB.applyq).
+type applyItem struct {
+	pkt  *packet.Packet
+	done func()
+}
+
 // HIB is one node's host interface board.
 type HIB struct {
 	eng       *sim.Engine
@@ -68,7 +74,44 @@ type HIB struct {
 	sizing    params.Sizing
 	placement params.Placement
 
-	outQ       [packet.NumVCs]*sim.Queue[outItem]
+	// Transmit side: one unbounded FIFO and a pump per VC. The pump holds
+	// one packet on the injection wire at a time (SendEv + wire-clear
+	// callback), which serializes transmissions exactly as the old
+	// blocking sender process did.
+	outQ      [packet.NumVCs][]outItem
+	txBusy    [packet.NumVCs]bool
+	txCur     [packet.NumVCs]outItem
+	txClearFn [packet.NumVCs]func()
+
+	// Receive side: one pump per VC, driven by link arrival
+	// notifications. Packets serialize through the board — HIBService,
+	// then the handler's memory timing — with the pump's busy flag
+	// providing the same one-at-a-time discipline the old receiver
+	// daemons enforced (the property that makes the home node a
+	// serialization point). Simple packets are serviced by chained
+	// events; coherence traffic and multi-step operations fall back to a
+	// transient process running the original blocking handlers.
+	rxBusy  [packet.NumVCs]bool
+	rxCur   [packet.NumVCs]*packet.Packet
+	rxSvcFn [packet.NumVCs]func()
+	rxDonFn [packet.NumVCs]func()
+
+	// Pending WriteReq memory applies, in MPM order: every apply is
+	// scheduled MPMWrite ahead, and events fire in schedule order at equal
+	// deltas, so a FIFO plus one prebound handler services the board's
+	// hottest packet type without a per-packet closure.
+	applyq  []applyItem
+	applyFn func()
+
+	// pktFree recycles consumed WriteReq/WriteAck packets. A packet is
+	// freed by the board that consumed it (always on that board's engine,
+	// so the list is race-free across shards) and reused for that board's
+	// own sends. Disabled (recycle=false) when any fabric link runs a
+	// fault plan: the ARQ sender retains packet pointers in its
+	// retransmission window, so recycling could corrupt a resend.
+	pktFree []*packet.Packet
+	recycle bool
+
 	cpuCredits *sim.Semaphore // bounds CPU-originated in-flight writes
 	readSlots  *sim.Semaphore // bounds outstanding remote reads
 
@@ -91,6 +134,16 @@ type HIB struct {
 
 	// Counters is the HIB's telemetry (operation and packet counts).
 	Counters *stats.CounterSet
+
+	// Pre-resolved counter cells for the per-operation and per-packet hot
+	// paths: one map lookup at construction instead of one per event.
+	rxCells           [packet.NumTypes]*int64
+	txCells           [packet.NumTypes]*int64
+	cLocalSharedWrite *int64
+	cLocalSharedRead  *int64
+	cRemoteWrite      *int64
+	cRemoteRead       *int64
+	cMulticastWrite   *int64
 }
 
 // New builds the HIB for node and starts its sender/receiver processes.
@@ -114,11 +167,44 @@ func New(eng *sim.Engine, node addrspace.NodeID, net *topology.Network, bus *tch
 		multicast:    make(map[addrspace.PageNum][]addrspace.GPage),
 		Counters:     stats.NewCounterSet(),
 	}
-	for vc := 0; vc < packet.NumVCs; vc++ {
-		h.outQ[vc] = sim.NewQueue[outItem](eng, 0)
+	h.recycle = true
+	for _, l := range net.Links() {
+		if l.Faulty() {
+			h.recycle = false
+			break
+		}
 	}
+	for t := packet.Type(0); int(t) < packet.NumTypes; t++ {
+		h.rxCells[t] = h.Counters.Cell(rxLabel(t))
+		h.txCells[t] = h.Counters.Cell(txLabel(t))
+	}
+	h.cLocalSharedWrite = h.Counters.Cell("local-shared-write")
+	h.cLocalSharedRead = h.Counters.Cell("local-shared-read")
+	h.cRemoteWrite = h.Counters.Cell("remote-write")
+	h.cRemoteRead = h.Counters.Cell("remote-read")
+	h.cMulticastWrite = h.Counters.Cell("multicast-write")
 	h.start()
 	return h
+}
+
+// newPacket returns a zeroed packet, reusing a recycled one if possible.
+func (h *HIB) newPacket() *packet.Packet {
+	if n := len(h.pktFree); n > 0 {
+		pkt := h.pktFree[n-1]
+		h.pktFree = h.pktFree[:n-1]
+		return pkt
+	}
+	return new(packet.Packet)
+}
+
+// freePacket recycles a fully-consumed packet. Callers must guarantee no
+// reference survives the call (trace events copy their fields).
+func (h *HIB) freePacket(pkt *packet.Packet) {
+	if !h.recycle {
+		return
+	}
+	*pkt = packet.Packet{}
+	h.pktFree = append(h.pktFree, pkt)
 }
 
 // Node reports the node this HIB serves.
@@ -167,45 +253,116 @@ func (h *HIB) returnOp(op trace.BoundaryOp, seq uint64, addr addrspace.GAddr, re
 // Outstanding reports the current count of outstanding remote operations.
 func (h *HIB) Outstanding() int { return h.outstanding }
 
+// start registers the board's event-driven pumps with the network.
 func (h *HIB) start() {
 	for vc := packet.VC(0); vc < packet.NumVCs; vc++ {
 		vc := vc
-		h.eng.SpawnDaemon(fmt.Sprintf("%v.hib.tx%d", h.node, vc), func(p *sim.Proc) {
-			for {
-				it := h.outQ[vc].Get(p)
-				h.net.Send(p, it.pkt)
-				if it.fromCPU {
-					h.cpuCredits.Release()
-				}
-			}
-		})
+		h.txClearFn[vc] = func() { h.txClear(vc) }
+		h.rxSvcFn[vc] = func() { h.rxService(vc) }
+		h.rxDonFn[vc] = func() { h.rxDone(vc) }
+		h.net.SetNotify(h.node, vc, func() { h.rxPump(vc) })
 	}
-	h.eng.SpawnDaemon(fmt.Sprintf("%v.hib.rxreq", h.node), func(p *sim.Proc) {
-		for {
-			pkt := h.net.Recv(p, h.node, packet.VCRequest)
-			p.Sleep(h.timing.HIBService)
+	h.applyFn = h.applyWrite
+}
+
+// applyWrite completes the oldest in-flight WriteReq: the MPM write lands,
+// the apply event is recorded, and the acknowledgement heads home.
+func (h *HIB) applyWrite() {
+	it := h.applyq[0]
+	copy(h.applyq, h.applyq[1:])
+	h.applyq[len(h.applyq)-1] = applyItem{}
+	h.applyq = h.applyq[:len(h.applyq)-1]
+	pkt := it.pkt
+	h.mem.WriteWord(pkt.Addr.Offset(), pkt.Val)
+	h.Emit(trace.EvWriteApply, uint64(pkt.Addr), pkt.Val, uint64(pkt.Src))
+	h.ack(pkt.Src)
+	h.freePacket(pkt)
+	if it.done != nil {
+		it.done()
+	}
+}
+
+// txPump launches the oldest queued packet on vc's injection link; the
+// next launch happens from the wire-clear callback.
+func (h *HIB) txPump(vc packet.VC) {
+	if h.txBusy[vc] || len(h.outQ[vc]) == 0 {
+		return
+	}
+	q := h.outQ[vc]
+	it := q[0]
+	copy(q, q[1:])
+	q[len(q)-1] = outItem{}
+	h.outQ[vc] = q[:len(q)-1]
+	h.txBusy[vc] = true
+	h.txCur[vc] = it
+	h.net.SendEv(it.pkt, h.txClearFn[vc])
+}
+
+// txClear runs when the in-flight packet clears the injection wire: the
+// write-queue credit a CPU packet held is only returned now, preserving
+// the board's finite-FIFO back-pressure on the TurboChannel.
+func (h *HIB) txClear(vc packet.VC) {
+	if h.txCur[vc].fromCPU {
+		h.cpuCredits.Release()
+	}
+	h.txCur[vc] = outItem{}
+	h.txBusy[vc] = false
+	h.txPump(vc)
+}
+
+// rxPump consumes the next arrived packet on vc and starts its
+// HIBService stage, unless the board is still servicing the previous
+// packet on that VC.
+func (h *HIB) rxPump(vc packet.VC) {
+	if h.rxBusy[vc] {
+		return
+	}
+	pkt, ok := h.net.TryRecv(h.node, vc)
+	if !ok {
+		return
+	}
+	h.rxBusy[vc] = true
+	h.rxCur[vc] = pkt
+	h.eng.Schedule(h.timing.HIBService, h.rxSvcFn[vc]) //tgvet:allow eventdrop(rx service delay always fires; rxBusy stays held until it does)
+}
+
+// rxService runs HIBService after arrival: dispatch to the event-chain
+// fast path, or to a transient process for packets that need blocking
+// handler context (attached coherence protocol, copies, message sinks).
+func (h *HIB) rxService(vc packet.VC) {
+	pkt := h.rxCur[vc]
+	h.rxCur[vc] = nil
+	if h.serviceFast(pkt, h.rxDonFn[vc]) {
+		return
+	}
+	h.eng.SpawnDaemon(fmt.Sprintf("%v.hib.rx", h.node), func(p *sim.Proc) {
+		if pkt.Class() == packet.VCRequest {
 			h.handleRequest(p, pkt)
-		}
-	})
-	h.eng.SpawnDaemon(fmt.Sprintf("%v.hib.rxrpl", h.node), func(p *sim.Proc) {
-		for {
-			pkt := h.net.Recv(p, h.node, packet.VCReply)
-			p.Sleep(h.timing.HIBService)
+		} else {
 			h.handleReply(p, pkt)
 		}
+		h.rxDone(vc)
 	})
+}
+
+// rxDone releases the VC's service pipeline and pulls in the next packet.
+func (h *HIB) rxDone(vc packet.VC) {
+	h.rxBusy[vc] = false
+	h.rxPump(vc)
 }
 
 // post enqueues an HIB-generated packet for transmission.
 func (h *HIB) post(pkt *packet.Packet) {
-	h.outQ[pkt.Class()].TryPut(outItem{pkt: pkt})
+	vc := pkt.Class()
+	h.outQ[vc] = append(h.outQ[vc], outItem{pkt: pkt})
+	h.txPump(vc)
 }
 
 // Post enqueues a protocol packet for transmission on behalf of an
 // attached coherence layer.
 func (h *HIB) Post(p *sim.Proc, pkt *packet.Packet) {
 	pkt.Src = h.node
-	h.Counters.Inc("tx-" + pkt.Type.String())
+	h.countTx(pkt.Type)
 	h.post(pkt)
 }
 
@@ -214,7 +371,9 @@ func (h *HIB) Post(p *sim.Proc, pkt *packet.Packet) {
 // TurboChannel.
 func (h *HIB) postCPU(p *sim.Proc, pkt *packet.Packet) {
 	h.cpuCredits.Acquire(p)
-	h.outQ[pkt.Class()].Put(p, outItem{pkt: pkt, fromCPU: true})
+	vc := pkt.Class()
+	h.outQ[vc] = append(h.outQ[vc], outItem{pkt: pkt, fromCPU: true})
+	h.txPump(vc)
 }
 
 // AddOutstanding adjusts the outstanding-operation counter; at zero all

@@ -93,7 +93,7 @@ type injector struct {
 	// Sender state, per VC: frames sent but not yet cumulatively acked.
 	nextSeq [packet.NumVCs]uint64
 	sent    [packet.NumVCs]map[uint64]*packet.Packet
-	timers  [packet.NumVCs]map[uint64]*sim.Event
+	timers  [packet.NumVCs]map[uint64]sim.Event
 	acked   [packet.NumVCs]uint64 // all seq < acked are acknowledged
 
 	// Receiver state, per VC: next expected sequence number and the
@@ -125,7 +125,7 @@ func newInjector(l *Link, plan FaultPlan) *injector {
 	}
 	for vc := 0; vc < packet.NumVCs; vc++ {
 		inj.sent[vc] = make(map[uint64]*packet.Packet)
-		inj.timers[vc] = make(map[uint64]*sim.Event)
+		inj.timers[vc] = make(map[uint64]sim.Event)
 		inj.held[vc] = make(map[uint64]*packet.Packet)
 	}
 	return inj
@@ -167,9 +167,7 @@ func (inj *injector) transmit(vc packet.VC, f frame) {
 
 // armTimer schedules a retransmission for f unless it is acked first.
 func (inj *injector) armTimer(vc packet.VC, f frame) {
-	if ev := inj.timers[vc][f.seq]; ev != nil {
-		ev.Cancel()
-	}
+	inj.timers[vc][f.seq].Cancel() // zero/stale handles are inert no-ops
 	inj.timers[vc][f.seq] = inj.l.eng.Schedule(inj.timeout, func() {
 		if _, live := inj.sent[vc][f.seq]; !live {
 			return // acked while the timer event was in flight
@@ -212,9 +210,10 @@ func (inj *injector) arrive(vc packet.VC, f frame) {
 }
 
 // deliver hands an in-order, exactly-once packet to the link's arrived
-// queue — the same queue the fault-free path uses, so Recv is unchanged.
+// queue — the same path the fault-free wire uses, so consumers are
+// unchanged.
 func (inj *injector) deliver(vc packet.VC, pkt *packet.Packet) {
-	inj.l.arrived[vc].TryPut(pkt)
+	inj.l.push(vc, pkt)
 }
 
 // ack processes a cumulative acknowledgement: every frame below upTo is
@@ -222,7 +221,7 @@ func (inj *injector) deliver(vc packet.VC, pkt *packet.Packet) {
 func (inj *injector) ack(vc packet.VC, upTo uint64) {
 	for seq := inj.acked[vc]; seq < upTo; seq++ {
 		delete(inj.sent[vc], seq)
-		if ev := inj.timers[vc][seq]; ev != nil {
+		if ev, ok := inj.timers[vc][seq]; ok {
 			ev.Cancel()
 			delete(inj.timers[vc], seq)
 		}

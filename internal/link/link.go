@@ -9,11 +9,19 @@
 // request-reply dependency cycles cannot deadlock the fabric.
 //
 // A link's two endpoints may live on different simulation shards: the
-// sender half (credits, wire, ARQ sender) runs on the sending engine, the
-// receiver half (arrival queues, ARQ receiver) on the receiving engine,
-// and everything that crosses the wire — packets, credits, ARQ acks —
-// travels over sim.Chans whose minimum delay is the propagation delay.
-// That physical latency is exactly the lookahead the sharded engine uses.
+// sender half (credits, wire timeline, ARQ sender) runs on the sending
+// engine, the receiver half (arrival queues, ARQ receiver) on the
+// receiving engine, and everything that crosses the wire — packets,
+// credits, ARQ acks — travels over sim.Chans whose minimum delay is the
+// propagation delay. That physical latency is exactly the lookahead the
+// sharded engine uses.
+//
+// The link is an event-driven state machine, not a set of blocking
+// processes: SendEv reserves the wire timeline and calls back when the
+// packet has cleared it, and the receiver side hands arrivals to a
+// registered notify hook. The blocking Send/Recv wrappers remain for
+// process-style users (workload drivers, tests) but the switch and HIB
+// hot paths never park a coroutine per packet.
 package link
 
 import (
@@ -47,21 +55,72 @@ func DefaultConfig() Config {
 	return Config{PropDelay: 10 * sim.Nanosecond, WordTime: 30 * sim.Nanosecond, BufPackets: 4}
 }
 
-// Link is a unidirectional, lossless, in-order link. Senders call Send
-// (blocking for a credit and for wire time); the receiving element drains
-// it with Recv, which returns the consumed buffer's credit to the sender
-// one propagation delay later over the reverse control channel.
+// pendingSend is a packet waiting for a flow-control credit on its VC.
+type pendingSend struct {
+	pkt     *packet.Packet
+	onClear func()
+}
+
+// wireItem is a packet whose wire slot is reserved but has not yet
+// cleared the wire. Wire-clear events fire in reservation order (the
+// timeline is strictly increasing), so a FIFO plus one prebound handler
+// replaces a per-packet closure.
+type wireItem struct {
+	vc      packet.VC
+	pkt     *packet.Packet
+	onClear func()
+}
+
+// rxItem is a packet in flight on a fault-free, same-engine wire. Per
+// link, fwd-channel deliveries happen in send order (constant propagation
+// delay, FIFO channel), so the sender appends here and the prebound
+// arrival handler pops the head — no per-packet delivery closure. The
+// queue is single-engine state only: on a cross-shard link the two
+// endpoints run concurrently within a barrier round, so those links keep
+// the per-packet closure (the packet travels inside the sim.Chan
+// message). Faulty links also bypass this queue: the ARQ injector
+// reorders frames and carries each in its own closure.
+type rxItem struct {
+	vc  packet.VC
+	pkt *packet.Packet
+}
+
+// Link is a unidirectional, lossless, in-order link. Senders call SendEv
+// (or the blocking Send wrapper); the receiving element drains it with
+// TryRecv under a notify hook (or the blocking Recv wrapper), which
+// returns the consumed buffer's credit to the sender one propagation
+// delay later over the reverse control channel.
 type Link struct {
-	name    string
-	eng     *sim.Engine // sender-side engine
-	reng    *sim.Engine // receiver-side engine
-	cfg     Config
-	wire    *sim.Mutex
-	fwd     *sim.Chan // sender -> receiver: packets / ARQ frames
-	rev     *sim.Chan // receiver -> sender: credits / ARQ acks
-	credits [packet.NumVCs]*sim.Semaphore
-	arrived [packet.NumVCs]*sim.Queue[*packet.Packet]
-	inj     *injector // nil on a fault-free link
+	name string
+	eng  *sim.Engine // sender-side engine
+	reng *sim.Engine // receiver-side engine
+	cfg  Config
+	fwd  *sim.Chan // sender -> receiver: packets / ARQ frames
+	rev  *sim.Chan // receiver -> sender: credits / ARQ acks
+	inj  *injector // nil on a fault-free link
+
+	// Sender state. The wire is a reservation timeline: a credited packet
+	// reserves [start, start+transferTime) with start = max(now, wireFree),
+	// which serializes transmissions in launch order exactly as the old
+	// wire mutex did, without a coroutine parked per packet.
+	credits  [packet.NumVCs]int
+	sendq    [packet.NumVCs][]pendingSend
+	wireFree sim.Time
+	creditFn [packet.NumVCs]func() // prebound credit-arrival handlers
+	wireq    []wireItem            // reserved wire slots, in clear order
+	clearFn  func()                // prebound wire-clear handler
+
+	// In-flight packets on a fault-free wire (see rxItem). The sender
+	// appends at wireq head-pop time; the receiver-engine pushFn pops.
+	rxq    []rxItem
+	rxHead int
+	pushFn func() // prebound arrival handler
+
+	// Receiver state: arrived-but-unconsumed packets per VC, plus either
+	// blocked Recv callers or an event-driven consumer's notify hook.
+	arrived [packet.NumVCs][]*packet.Packet
+	waiters [packet.NumVCs][]*sim.Completion
+	notify  [packet.NumVCs]func()
 
 	// Telemetry (sender side).
 	sentPackets int64
@@ -84,13 +143,16 @@ func NewCross(snd, rcv *sim.Engine, name string, cfg Config) *Link {
 	if cfg.WordTime <= 0 {
 		cfg.WordTime = 1
 	}
-	l := &Link{name: name, eng: snd, reng: rcv, cfg: cfg, wire: sim.NewMutex(snd)}
+	l := &Link{name: name, eng: snd, reng: rcv, cfg: cfg}
 	l.fwd = sim.NewChan(snd, rcv, cfg.PropDelay)
 	l.rev = sim.NewChan(rcv, snd, cfg.PropDelay)
 	for vc := 0; vc < packet.NumVCs; vc++ {
-		l.credits[vc] = sim.NewSemaphore(snd, cfg.BufPackets)
-		l.arrived[vc] = sim.NewQueue[*packet.Packet](rcv, 0)
+		vc := packet.VC(vc)
+		l.credits[vc] = cfg.BufPackets
+		l.creditFn[vc] = func() { l.creditArrive(vc) }
 	}
+	l.clearFn = l.wireClear
+	l.pushFn = l.pushHead
 	if cfg.Faults.Active() {
 		l.inj = newInjector(l, *cfg.Faults)
 	}
@@ -109,30 +171,116 @@ func (l *Link) transferTime(pkt *packet.Packet) sim.Time {
 	return sim.Time(words) * l.cfg.WordTime
 }
 
-// Send transmits pkt, blocking the calling process until a receive buffer
-// credit is available on the packet's VC and the wire is free, then for
-// the packet's serialization time. The packet is delivered to the far end
-// PropDelay later. Per VC, packets arrive in exactly the order sent —
-// on a faulty link the ARQ sublayer restores that order and delivers
-// exactly once despite drops, duplicates, and reordering on the wire.
-// The calling process must run on the link's sender engine.
-func (l *Link) Send(p *sim.Proc, pkt *packet.Packet) {
+// SendEv transmits pkt from event context on the sender engine. The
+// packet waits for a receive-buffer credit on its VC (FIFO per VC), then
+// occupies the wire for its serialization time and is delivered to the
+// far end PropDelay later. onClear, if non-nil, runs on the sender engine
+// at the instant the packet clears the wire — the point at which the old
+// blocking Send returned — so callers chain onClear to launch their next
+// packet and back-pressure propagates exactly as before. Per VC, packets
+// arrive in exactly the order sent — on a faulty link the ARQ sublayer
+// restores that order and delivers exactly once despite drops,
+// duplicates, and reordering on the wire.
+func (l *Link) SendEv(pkt *packet.Packet, onClear func()) {
 	vc := pkt.Class()
-	l.credits[vc].Acquire(p) // back-pressure: wait for far-end buffer space
-	l.wire.Lock(p)
+	if l.credits[vc] > 0 && len(l.sendq[vc]) == 0 {
+		l.launch(vc, pkt, onClear)
+		return
+	}
+	l.sendq[vc] = append(l.sendq[vc], pendingSend{pkt: pkt, onClear: onClear})
+}
+
+// launch spends one credit and reserves the next wire slot for pkt.
+func (l *Link) launch(vc packet.VC, pkt *packet.Packet, onClear func()) {
+	l.credits[vc]--
+	start := l.eng.Now()
+	if start < l.wireFree {
+		start = l.wireFree
+	}
 	t := l.transferTime(pkt)
-	p.Sleep(t)
+	l.wireFree = start + t
 	l.busy += t
 	l.sentPackets++
 	l.sentWords += int64((pkt.SizeBytes() + 7) / 8)
-	l.wire.Unlock()
-	if l.inj != nil {
-		l.inj.send(vc, pkt)
+	l.wireq = append(l.wireq, wireItem{vc: vc, pkt: pkt, onClear: onClear})
+	l.eng.At(l.wireFree, l.clearFn) //tgvet:allow eventdrop(wire-clear always fires; the queued wireItem is consumed by exactly this event)
+}
+
+// wireClear runs when the oldest reserved wire slot's packet finishes
+// serializing: the packet enters the wire proper (propagation), and the
+// sender's onClear chain fires.
+func (l *Link) wireClear() {
+	w := l.wireq[0]
+	copy(l.wireq, l.wireq[1:])
+	l.wireq[len(l.wireq)-1] = wireItem{}
+	l.wireq = l.wireq[:len(l.wireq)-1]
+	switch {
+	case l.inj != nil:
+		l.inj.send(w.vc, w.pkt)
+	case l.eng == l.reng:
+		l.rxq = append(l.rxq, rxItem{vc: w.vc, pkt: w.pkt})
+		l.fwd.Send(l.cfg.PropDelay, l.pushFn)
+	default:
+		vc, pkt := w.vc, w.pkt
+		l.fwd.Send(l.cfg.PropDelay, func() { l.push(vc, pkt) })
+	}
+	if w.onClear != nil {
+		w.onClear()
+	}
+}
+
+// pushHead delivers the oldest in-flight packet on the receiver engine.
+func (l *Link) pushHead() {
+	it := l.rxq[l.rxHead]
+	l.rxq[l.rxHead] = rxItem{}
+	l.rxHead++
+	if l.rxHead == len(l.rxq) {
+		l.rxq = l.rxq[:0]
+		l.rxHead = 0
+	}
+	l.push(it.vc, it.pkt)
+}
+
+// creditArrive runs on the sender engine when a consumed buffer's credit
+// returns; it launches the oldest queued packet on the VC, if any.
+func (l *Link) creditArrive(vc packet.VC) {
+	l.credits[vc]++
+	if q := l.sendq[vc]; len(q) > 0 {
+		s := q[0]
+		copy(q, q[1:])
+		q[len(q)-1] = pendingSend{}
+		l.sendq[vc] = q[:len(q)-1]
+		l.launch(vc, s.pkt, s.onClear)
+	}
+}
+
+// push hands an arrived packet to the receiver side: it joins the VC's
+// arrival queue and wakes a blocked Recv caller or fires the notify hook.
+func (l *Link) push(vc packet.VC, pkt *packet.Packet) {
+	l.arrived[vc] = append(l.arrived[vc], pkt)
+	if ws := l.waiters[vc]; len(ws) > 0 {
+		c := ws[0]
+		l.waiters[vc] = ws[1:]
+		c.Complete()
 		return
 	}
-	l.fwd.Send(l.cfg.PropDelay, func() {
-		l.arrived[vc].TryPut(pkt) // unbounded queue: credits already bound it
-	})
+	if fn := l.notify[vc]; fn != nil {
+		fn()
+	}
+}
+
+// SetNotify registers fn to run (on the receiver engine, in the arrival's
+// event context) whenever a packet becomes available on vc. The consumer
+// drains with TryRecv; a notify with nothing consumed is harmless.
+func (l *Link) SetNotify(vc packet.VC, fn func()) { l.notify[vc] = fn }
+
+// Send is the blocking wrapper over SendEv: it parks the calling process
+// until the packet clears the wire. The calling process must run on the
+// link's sender engine.
+func (l *Link) Send(p *sim.Proc, pkt *packet.Packet) {
+	c := sim.NewCompletion(l.eng)
+	l.SendEv(pkt, c.Complete)
+	c.Wait(p)
 }
 
 // Recv removes the next arrived packet on vc, blocking the calling process
@@ -140,23 +288,33 @@ func (l *Link) Send(p *sim.Proc, pkt *packet.Packet) {
 // over the reverse channel. The calling process must run on the link's
 // receiver engine.
 func (l *Link) Recv(p *sim.Proc, vc packet.VC) *packet.Packet {
-	pkt := l.arrived[vc].Get(p)
-	l.rev.Send(l.cfg.PropDelay, l.credits[vc].Release)
-	return pkt
+	for {
+		if pkt, ok := l.TryRecv(vc); ok {
+			return pkt
+		}
+		c := sim.NewCompletion(l.reng)
+		l.waiters[vc] = append(l.waiters[vc], c)
+		c.Wait(p)
+	}
 }
 
-// TryRecv removes an arrived packet on vc without blocking. It must be
-// called from the receiver engine's context.
+// TryRecv removes an arrived packet on vc without blocking, returning the
+// consumed buffer's credit to the sender. It must be called from the
+// receiver engine's context.
 func (l *Link) TryRecv(vc packet.VC) (*packet.Packet, bool) {
-	pkt, ok := l.arrived[vc].TryGet()
-	if ok {
-		l.rev.Send(l.cfg.PropDelay, l.credits[vc].Release)
+	q := l.arrived[vc]
+	if len(q) == 0 {
+		return nil, false
 	}
-	return pkt, ok
+	pkt := q[0]
+	q[0] = nil
+	l.arrived[vc] = q[1:]
+	l.rev.Send(l.cfg.PropDelay, l.creditFn[vc])
+	return pkt, true
 }
 
 // Queued reports the number of arrived-but-unconsumed packets on vc.
-func (l *Link) Queued(vc packet.VC) int { return l.arrived[vc].Len() }
+func (l *Link) Queued(vc packet.VC) int { return len(l.arrived[vc]) }
 
 // SentPackets reports the total packets transmitted.
 func (l *Link) SentPackets() int64 { return l.sentPackets }

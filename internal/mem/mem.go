@@ -11,10 +11,17 @@ import (
 	"telegraphos/internal/addrspace"
 )
 
+// chunkWords sizes the lazily-allocated backing chunks (64 KiB). A fresh
+// Memory allocates no data storage: chunks materialize on first write and
+// unwritten words read as zero, so building a large cluster costs neither
+// the allocation nor the zeroing of memory the workload never touches.
+const chunkWords = 1 << 13
+
 // Memory is a node-local physical memory of a fixed byte size.
 type Memory struct {
-	words    []uint64
-	pageSize int
+	sizeWords int
+	chunks    [][]uint64
+	pageSize  int
 
 	reads  int64
 	writes int64
@@ -29,11 +36,16 @@ func New(size, pageSize int) *Memory {
 	if pageSize <= 0 || pageSize%addrspace.WordSize != 0 || size%pageSize != 0 {
 		panic(fmt.Sprintf("mem: invalid page size %d", pageSize))
 	}
-	return &Memory{words: make([]uint64, size/addrspace.WordSize), pageSize: pageSize}
+	sizeWords := size / addrspace.WordSize
+	return &Memory{
+		sizeWords: sizeWords,
+		chunks:    make([][]uint64, (sizeWords+chunkWords-1)/chunkWords),
+		pageSize:  pageSize,
+	}
 }
 
 // Size reports the memory size in bytes.
-func (m *Memory) Size() int { return len(m.words) * addrspace.WordSize }
+func (m *Memory) Size() int { return m.sizeWords * addrspace.WordSize }
 
 // PageSize reports the page size in bytes.
 func (m *Memory) PageSize() int { return m.pageSize }
@@ -49,30 +61,50 @@ func (m *Memory) index(off uint64) int {
 		panic(fmt.Sprintf("mem: unaligned word access at %#x", off))
 	}
 	i := int(off / addrspace.WordSize)
-	if i < 0 || i >= len(m.words) {
+	if i < 0 || i >= m.sizeWords {
 		panic(fmt.Sprintf("mem: access at %#x beyond size %#x", off, m.Size()))
 	}
 	return i
+}
+
+func (m *Memory) load(i int) uint64 {
+	c := m.chunks[i/chunkWords]
+	if c == nil {
+		return 0
+	}
+	return c[i%chunkWords]
+}
+
+func (m *Memory) store(i int, v uint64) {
+	ci := i / chunkWords
+	c := m.chunks[ci]
+	if c == nil {
+		c = make([]uint64, chunkWords)
+		m.chunks[ci] = c
+	}
+	c[i%chunkWords] = v
 }
 
 // ReadWord returns the word at byte offset off. It panics on unaligned or
 // out-of-range access: those are simulation bugs, not program errors.
 func (m *Memory) ReadWord(off uint64) uint64 {
 	m.reads++
-	return m.words[m.index(off)]
+	return m.load(m.index(off))
 }
 
 // WriteWord stores v at byte offset off.
 func (m *Memory) WriteWord(off uint64, v uint64) {
 	m.writes++
-	m.words[m.index(off)] = v
+	m.store(m.index(off), v)
 }
 
 // ReadPage copies page pn into a fresh slice of words.
 func (m *Memory) ReadPage(pn addrspace.PageNum) []uint64 {
 	base := m.index(addrspace.PageBase(pn, m.pageSize))
 	out := make([]uint64, m.WordsPerPage())
-	copy(out, m.words[base:base+m.WordsPerPage()])
+	for j := range out {
+		out[j] = m.load(base + j)
+	}
 	m.reads += int64(m.WordsPerPage())
 	return out
 }
@@ -84,7 +116,9 @@ func (m *Memory) WritePage(pn addrspace.PageNum, data []uint64) {
 		panic(fmt.Sprintf("mem: WritePage with %d words, want %d", len(data), m.WordsPerPage()))
 	}
 	base := m.index(addrspace.PageBase(pn, m.pageSize))
-	copy(m.words[base:base+m.WordsPerPage()], data)
+	for j, v := range data {
+		m.store(base+j, v)
+	}
 	m.writes += int64(m.WordsPerPage())
 }
 

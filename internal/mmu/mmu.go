@@ -171,6 +171,13 @@ type TLB struct {
 	present map[addrspace.PageNum]bool
 	hits    int64
 	misses  int64
+
+	// One-entry front cache: the last page that hit. Translation runs on
+	// every simulated memory access, and repeated accesses to one page are
+	// the common case, so this skips the map probe without changing hit or
+	// miss accounting. Cleared by Invalidate and Flush.
+	last      addrspace.PageNum
+	lastValid bool
 }
 
 // NewTLB returns an empty TLB holding size entries.
@@ -183,8 +190,14 @@ func NewTLB(size int) *TLB {
 
 // Lookup reports whether vp is cached, updating hit/miss counters.
 func (t *TLB) Lookup(vp addrspace.PageNum) bool {
+	if t.lastValid && vp == t.last {
+		t.hits++
+		return true
+	}
 	if t.present[vp] {
 		t.hits++
+		t.last = vp
+		t.lastValid = true
 		return true
 	}
 	t.misses++
@@ -207,6 +220,9 @@ func (t *TLB) Insert(vp addrspace.PageNum) {
 
 // Invalidate drops vp from the cache (after Unmap/Protect).
 func (t *TLB) Invalidate(vp addrspace.PageNum) {
+	if t.lastValid && vp == t.last {
+		t.lastValid = false
+	}
 	if !t.present[vp] {
 		return
 	}
@@ -223,6 +239,7 @@ func (t *TLB) Invalidate(vp addrspace.PageNum) {
 func (t *TLB) Flush() {
 	t.order = nil
 	t.present = make(map[addrspace.PageNum]bool)
+	t.lastValid = false
 }
 
 // Hits reports the cumulative hit count.

@@ -64,6 +64,10 @@ const (
 	numTypes
 )
 
+// NumTypes bounds the valid Type values; use it to size type-indexed
+// tables (e.g. precomputed telemetry labels).
+const NumTypes = int(numTypes)
+
 var typeNames = [...]string{
 	Invalid:        "Invalid",
 	WriteReq:       "WriteReq",

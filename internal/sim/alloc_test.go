@@ -1,0 +1,142 @@
+package sim
+
+// Allocation-budget gates for the engine's hot path. The contract is
+// zero allocations per event in steady state: once the slot pool, the
+// event heap, the inbox, and the staging buffers have grown to the
+// workload's high-water mark, Schedule → fire → recycle and Chan.Send →
+// deliver must not touch the allocator. These gates are ratchets — they
+// pin today's zero so a regression (a closure capture, interface boxing,
+// a map in the hot path) fails CI rather than silently eroding the
+// benchmark numbers.
+
+import "testing"
+
+// measureAllocs runs f under AllocsPerRun and fails the test if the
+// steady-state budget (exactly zero) is exceeded.
+func measureAllocs(t *testing.T, name string, f func()) {
+	t.Helper()
+	if avg := testing.AllocsPerRun(100, f); avg != 0 {
+		t.Errorf("%s: %.2f allocs/run, want 0", name, avg)
+	}
+}
+
+// TestScheduleFireRecycleAllocs gates the basic event cycle: schedule a
+// batch onto a warmed engine, run it dry, repeat. Every event draws a
+// pooled slot and returns it on fire.
+func TestScheduleFireRecycleAllocs(t *testing.T) {
+	e := NewEngine(1)
+	fires := 0
+	fn := func() { fires++ }
+	// Warm-up: grow the pool and heap to the batch's high-water mark.
+	for i := 0; i < 1024; i++ {
+		e.Schedule(Time(i%32), fn)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	measureAllocs(t, "schedule/fire/recycle", func() {
+		for i := 0; i < 256; i++ {
+			e.Schedule(Time(i%32), fn)
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if fires == 0 {
+		t.Fatal("no events fired")
+	}
+}
+
+// TestCancelRecycleAllocs gates the cancel path: canceled events leave
+// the queue lazily and their slots recycle through the pool — including
+// the bulk compaction sweep, which must reuse the heap's own storage.
+func TestCancelRecycleAllocs(t *testing.T) {
+	e := NewEngine(1)
+	fires := 0
+	fn := func() { fires++ }
+	evs := make([]Event, 256)
+	for i := 0; i < 1024; i++ {
+		e.Schedule(Time(i%32), fn)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	measureAllocs(t, "cancel/recycle", func() {
+		for i := range evs {
+			evs[i] = e.Schedule(Time(i%32), fn)
+		}
+		// Cancel every other event: enough dead weight to trigger the
+		// engine's compaction sweep (threshold 64) inside the gate.
+		for i := 0; i < len(evs); i += 2 {
+			evs[i].Cancel()
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestChanSendSameShardAllocs gates the same-shard message path: Send
+// pushes straight into the destination inbox heap.
+func TestChanSendSameShardAllocs(t *testing.T) {
+	e := NewEngine(1)
+	ch := NewChan(e, e, 1)
+	n := 0
+	fn := func() { n++ }
+	for i := 0; i < 1024; i++ {
+		ch.Send(Time(1+i%16), fn)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	measureAllocs(t, "chan send same-shard", func() {
+		for i := 0; i < 256; i++ {
+			ch.Send(Time(1+i%16), fn)
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestChanSendCrossShardAllocs gates the cross-shard path end to end:
+// staging on the source, batched hand-off at the barrier, inbox absorb
+// and heap rebuild on the destination — a ping-pong between two shards
+// so every round crosses the barrier in both directions.
+func TestChanSendCrossShardAllocs(t *testing.T) {
+	for _, perMsg := range []bool{false, true} {
+		g := NewGroup(1, 2)
+		g.SetPerMessageDelivery(perMsg)
+		a, b := g.Shard(0), g.Shard(1)
+		ab := NewChan(a, b, 1)
+		ba := NewChan(b, a, 1)
+		rounds := 0
+		var ping, pong func()
+		ping = func() {
+			if rounds == 0 {
+				return
+			}
+			rounds--
+			ab.Send(1, pong)
+		}
+		pong = func() { ba.Send(1, ping) }
+		// Warm-up: the staging buffers, inboxes, and the group's round
+		// scratch all reach steady-state capacity.
+		rounds = 256
+		ab.Send(1, pong)
+		if err := g.Run(); err != nil {
+			t.Fatal(err)
+		}
+		name := "chan send cross-shard batched"
+		if perMsg {
+			name = "chan send cross-shard per-message"
+		}
+		measureAllocs(t, name, func() {
+			rounds = 64
+			ab.Send(1, pong)
+			if err := g.Run(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

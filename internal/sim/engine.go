@@ -1,95 +1,73 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 )
 
-// Event is a scheduled callback. The zero value is not useful; events are
-// created by Engine.Schedule and Engine.At.
+// Event is a handle to a scheduled callback, returned by Engine.Schedule
+// and Engine.At. It is a small value: copy it freely. The zero Event is
+// inert.
+//
+// Handles are generation-checked: once the event fires, is canceled, or
+// its pooled slot is recycled, every outstanding handle becomes inert —
+// Cancel and When on a stale handle are no-ops, and a stale handle can
+// never touch (much less fire) an event that now occupies the recycled
+// slot.
 type Event struct {
-	eng      *Engine
-	when     Time
-	seq      uint64
-	fn       func()
-	canceled bool
-	fired    bool
+	slot *eventSlot
+	gen  uint32
 }
+
+// Live reports whether the handle still refers to a pending event: not
+// yet fired, not canceled, not recycled.
+func (ev Event) Live() bool { return ev.slot != nil && ev.slot.gen == ev.gen }
 
 // Cancel prevents the event's callback from running. Canceling an event
-// that already fired or was already canceled is a no-op. Canceled events
-// are removed from the queue lazily; when more than half the queue is
-// dead weight the engine compacts it, so long-running simulations that
-// cancel many timers (e.g. ARQ retransmission guards) do not leak.
-func (ev *Event) Cancel() {
-	if ev.canceled || ev.fired {
+// that already fired, was already canceled, or whose slot was recycled is
+// a no-op. Cancel bumps the slot's generation, so the handle (and any
+// copy of it) is inert from this moment on. Canceled entries leave the
+// queue lazily; when more than half the queue is dead weight the engine
+// compacts it, so long-running simulations that cancel many timers
+// (e.g. ARQ retransmission guards) do not leak.
+func (ev Event) Cancel() {
+	s := ev.slot
+	if s == nil || s.gen != ev.gen {
 		return
 	}
-	ev.canceled = true
-	if ev.eng != nil {
-		ev.eng.deadEvents++
-		ev.eng.maybeCompact()
-	}
+	s.gen++ // stale-proof every outstanding handle immediately
+	s.canceled = true
+	s.fn = nil
+	s.eng.deadEvents++
+	s.eng.maybeCompact()
 }
 
-// When reports the simulated time at which the event is scheduled to fire.
-func (ev *Event) When() Time { return ev.when }
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].when != h[j].when {
-		return h[i].when < h[j].when
+// When reports the simulated time at which the event is scheduled to
+// fire, or 0 if the handle is no longer live.
+func (ev Event) When() Time {
+	if !ev.Live() {
+		return 0
 	}
-	return h[i].seq < h[j].seq // stable: FIFO among simultaneous events
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*Event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+	return ev.slot.when
 }
 
 // xmsg is a timestamped cross-entity message delivered through a Chan.
 // Messages are ordered by (time, channel id, per-channel sequence): the
 // key depends only on build-time channel identity, never on which shard
 // ran the sender, which is what makes execution order — and therefore
-// trace hashes — invariant to the shard count.
+// trace hashes — invariant to the shard count. The channel id and
+// sequence are packed into one word (id<<msgSeqBits | seq) so the inbox
+// heap compares and moves two words per entry instead of three; Chan
+// enforces both fields' ranges.
 type xmsg struct {
-	at   Time
-	chid uint64
-	seq  uint64
-	fn   func()
+	at  Time
+	key uint64 // chid << msgSeqBits | per-channel seq
+	fn  func()
 }
 
-type msgHeap []xmsg
-
-func (h msgHeap) Len() int { return len(h) }
-func (h msgHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	if h[i].chid != h[j].chid {
-		return h[i].chid < h[j].chid
-	}
-	return h[i].seq < h[j].seq
-}
-func (h msgHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *msgHeap) Push(x interface{}) { *h = append(*h, x.(xmsg)) }
-func (h *msgHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	m := old[n-1]
-	old[n-1] = xmsg{}
-	*h = old[:n-1]
-	return m
-}
+// msgSeqBits is the width of the per-channel sequence field in xmsg.key:
+// 2^40 messages per channel, with 2^24 channels per destination engine.
+const msgSeqBits = 40
 
 // ErrStalled is returned by Run when the event queue drains while
 // non-daemon processes are still blocked: the simulation deadlocked.
@@ -104,25 +82,37 @@ var ErrStalled = errors.New("sim: event queue empty but non-daemon processes sti
 // used from its own event/process context once Run has been called; it is
 // not safe for concurrent use from outside.
 //
-// The engine consumes two work sources: its event heap, ordered by
+// The engine consumes two work sources: its event queue, ordered by
 // (time, schedule sequence), and its inbox of cross-entity messages,
 // ordered by (time, channel id, channel sequence). At equal timestamps
-// inbox messages run before heap events; the rule is the same whether the
-// engine runs solo or as one shard of many, which keeps execution order
-// identical across shard counts.
+// inbox messages run before queued events; the rule is the same whether
+// the engine runs solo or as one shard of many, which keeps execution
+// order identical across shard counts.
+//
+// The hot path is allocation-free in steady state: events are drawn from
+// a per-engine slot pool (pool.go), the event queue and inbox are value
+// heaps (equeue.go, mqueue.go), and process wakeups reuse one prebound
+// closure per process.
 type Engine struct {
 	now        Time
-	events     eventHeap
+	events     eventQueue
+	pool       eventPool
 	seq        uint64
-	inbox      msgHeap
+	inbox      msgQueue
 	rng        *RNG
 	alive      int // non-daemon procs not yet finished
 	stopped    bool
 	failure    error
 	current    *Proc  // proc currently executing, if any
-	deadEvents int    // canceled events still sitting in the heap
+	deadEvents int    // canceled events still sitting in the queue
 	executed   uint64 // events + messages executed
 	nextChanID uint64 // chan ids for standalone (group-less) engines
+
+	// stage holds cross-shard messages generated during this engine's
+	// window, batched per destination shard; the group barrier hands each
+	// non-empty slice to its destination in one operation (see
+	// Group.flush). nil for standalone engines.
+	stage [][]xmsg
 
 	group *Group
 	shard int
@@ -135,7 +125,7 @@ type Engine struct {
 // Go version — the determinism contract tgvet's globalrand analyzer
 // enforces across the whole module.
 func NewEngine(seed int64) *Engine {
-	return &Engine{rng: NewRNG(uint64(seed))}
+	return &Engine{rng: NewRNG(uint64(seed)), events: newHeap4()}
 }
 
 // Now reports the current simulated time.
@@ -158,9 +148,6 @@ func (e *Engine) Group() *Group { return e.group }
 // Executed reports the number of events and messages the engine has run.
 func (e *Engine) Executed() uint64 { return e.executed }
 
-// Schedule arranges for fn to run delay nanoseconds from now.
-// A negative delay is treated as zero. Events scheduled for the same
-// instant fire in scheduling order.
 // checkSameShard panics when a process from another shard is about to
 // block on (or be enqueued by) a primitive owned by e. Blocking
 // primitives are shard-local state: a waiter is woken by its owner
@@ -174,7 +161,10 @@ func (e *Engine) checkSameShard(p *Proc) {
 	}
 }
 
-func (e *Engine) Schedule(delay Time, fn func()) *Event {
+// Schedule arranges for fn to run delay nanoseconds from now.
+// A negative delay is treated as zero. Events scheduled for the same
+// instant fire in scheduling order.
+func (e *Engine) Schedule(delay Time, fn func()) Event {
 	if delay < 0 {
 		delay = 0
 	}
@@ -182,14 +172,15 @@ func (e *Engine) Schedule(delay Time, fn func()) *Event {
 }
 
 // At arranges for fn to run at absolute time t (clamped to now).
-func (e *Engine) At(t Time, fn func()) *Event {
+func (e *Engine) At(t Time, fn func()) Event {
 	if t < e.now {
 		t = e.now
 	}
 	e.seq++
-	ev := &Event{eng: e, when: t, seq: e.seq, fn: fn}
-	heap.Push(&e.events, ev)
-	return ev
+	s := e.pool.get(e)
+	s.when, s.seq, s.fn = t, e.seq, fn
+	e.events.push(eqEnt{when: t, seq: e.seq, slot: s})
+	return Event{slot: s, gen: s.gen}
 }
 
 // Stop halts the engine: Run returns after the currently executing event
@@ -199,51 +190,46 @@ func (e *Engine) Stop() { e.stopped = true }
 
 // Pending reports the number of live queued events and undelivered inbox
 // messages. Canceled events are not counted.
-func (e *Engine) Pending() int { return len(e.events) - e.deadEvents + len(e.inbox) }
+func (e *Engine) Pending() int { return e.events.len() - e.deadEvents + e.inbox.len() }
 
 // Alive reports the number of non-daemon processes that have not finished.
 func (e *Engine) Alive() int { return e.alive }
 
-// maybeCompact rebuilds the event heap without canceled events once they
+// maybeCompact rebuilds the event queue without canceled events once they
 // outnumber the live ones (and are numerous enough to matter).
 func (e *Engine) maybeCompact() {
-	if e.deadEvents < 64 || e.deadEvents*2 <= len(e.events) {
+	if e.deadEvents < 64 || e.deadEvents*2 <= e.events.len() {
 		return
 	}
-	live := e.events[:0]
-	for _, ev := range e.events {
-		if !ev.canceled {
-			live = append(live, ev)
-		}
-	}
-	for i := len(live); i < len(e.events); i++ {
-		e.events[i] = nil
-	}
-	e.events = live
-	heap.Init(&e.events)
+	e.events.compact(e.pool.put)
 	e.deadEvents = 0
 }
 
-// peekEvent discards canceled events at the head of the heap and reports
+// peekEvent discards canceled events at the head of the queue and reports
 // the time of the next live event.
 func (e *Engine) peekEvent() (Time, bool) {
-	for len(e.events) > 0 && e.events[0].canceled {
-		heap.Pop(&e.events)
-		e.deadEvents--
+	for {
+		ent, ok := e.events.peek()
+		if !ok {
+			return 0, false
+		}
+		if ent.slot.canceled {
+			e.events.pop()
+			e.deadEvents--
+			e.pool.put(ent.slot)
+			continue
+		}
+		return ent.when, true
 	}
-	if len(e.events) == 0 {
-		return 0, false
-	}
-	return e.events[0].when, true
 }
 
 // nextTime reports the timestamp of the engine's earliest pending work
 // (event or inbox message).
 func (e *Engine) nextTime() (Time, bool) {
 	et, eok := e.peekEvent()
-	if len(e.inbox) > 0 {
-		if !eok || e.inbox[0].at < et {
-			return e.inbox[0].at, true
+	if m, ok := e.inbox.peek(); ok {
+		if !eok || m.at < et {
+			return m.at, true
 		}
 	}
 	return et, eok
@@ -251,19 +237,19 @@ func (e *Engine) nextTime() (Time, bool) {
 
 // runWindow executes all work with timestamp < horizon (horizon < 0 means
 // unbounded) and <= deadline (deadline < 0 means unbounded). Inbox
-// messages run before heap events scheduled for the same instant. It
+// messages run before queued events scheduled for the same instant. It
 // stops early on Stop or a recorded failure.
 func (e *Engine) runWindow(horizon, deadline Time) {
 	for !e.stopped && e.failure == nil {
 		et, eok := e.peekEvent()
-		mok := len(e.inbox) > 0
+		m, mok := e.inbox.peek()
 		if !eok && !mok {
 			return
 		}
 		var t Time
-		isMsg := mok && (!eok || e.inbox[0].at <= et)
+		isMsg := mok && (!eok || m.at <= et)
 		if isMsg {
-			t = e.inbox[0].at
+			t = m.at
 		} else {
 			t = et
 		}
@@ -282,12 +268,17 @@ func (e *Engine) runWindow(horizon, deadline Time) {
 		e.now = t
 		e.executed++
 		if isMsg {
-			m := heap.Pop(&e.inbox).(xmsg)
+			m := e.inbox.pop()
 			m.fn()
 		} else {
-			ev := heap.Pop(&e.events).(*Event)
-			ev.fired = true
-			ev.fn()
+			ent := e.events.pop()
+			// Recycle before firing: the callback may schedule new work
+			// into the freed slot, which is exactly the steady-state
+			// zero-allocation cycle. The generation bump in put makes
+			// every outstanding handle to this event inert.
+			fn := ent.slot.fn
+			e.pool.put(ent.slot)
+			fn()
 		}
 	}
 }

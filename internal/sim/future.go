@@ -26,7 +26,7 @@ func (c *Completion) Complete() {
 	}
 	c.done = true
 	for _, w := range c.waiters {
-		c.eng.Schedule(0, w.wake)
+		c.eng.Schedule(0, w.wakeFn)
 	}
 	c.waiters = nil
 }

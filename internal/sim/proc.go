@@ -15,6 +15,7 @@ type Proc struct {
 	name   string
 	run    chan struct{} // engine -> proc: resume
 	back   chan struct{} // proc -> engine: parked or finished
+	wakeFn func()        // prebound p.wake: one closure per process, not per wakeup
 	daemon bool
 	done   bool
 }
@@ -41,6 +42,7 @@ func (e *Engine) spawn(name string, fn func(*Proc), daemon bool) *Proc {
 		back:   make(chan struct{}),
 		daemon: daemon,
 	}
+	p.wakeFn = p.wake
 	if !daemon {
 		e.alive++
 	}
@@ -59,7 +61,7 @@ func (e *Engine) spawn(name string, fn func(*Proc), daemon bool) *Proc {
 		}()
 		fn(p)
 	}()
-	e.Schedule(0, p.wake)
+	e.Schedule(0, p.wakeFn)
 	return p
 }
 
@@ -99,7 +101,14 @@ func (p *Proc) Sleep(d Time) {
 		// events already scheduled for this instant.
 		d = 0
 	}
-	p.eng.Schedule(d, p.wake) //tgvet:allow eventdrop(a sleep timer always fires: the process parks until this wake and holds no cancel path)
+	p.eng.Schedule(d, p.wakeFn) //tgvet:allow eventdrop(a sleep timer always fires: the process parks until this wake and holds no cancel path)
+	p.park()
+}
+
+// SleepUntil suspends the process until absolute simulated time t
+// (returning immediately after a yield if t is not in the future).
+func (p *Proc) SleepUntil(t Time) {
+	p.eng.At(t, p.wakeFn) //tgvet:allow eventdrop(a sleep timer always fires: the process parks until this wake and holds no cancel path)
 	p.park()
 }
 

@@ -52,7 +52,7 @@ func (q *Queue[T]) push(v T) {
 	if len(q.getters) > 0 {
 		w := q.getters[0]
 		q.getters = q.getters[1:]
-		q.eng.Schedule(0, w.wake)
+		q.eng.Schedule(0, w.wakeFn)
 	}
 }
 
@@ -84,7 +84,7 @@ func (q *Queue[T]) pop() T {
 	if len(q.putters) > 0 {
 		w := q.putters[0]
 		q.putters = q.putters[1:]
-		q.eng.Schedule(0, w.wake)
+		q.eng.Schedule(0, w.wakeFn)
 	}
 	return v
 }
@@ -131,7 +131,7 @@ func (s *Semaphore) Release() {
 	if len(s.waiters) > 0 {
 		w := s.waiters[0]
 		s.waiters = s.waiters[1:]
-		s.eng.Schedule(0, w.wake)
+		s.eng.Schedule(0, w.wakeFn)
 	}
 }
 

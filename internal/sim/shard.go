@@ -15,14 +15,23 @@
 // messages are flushed into destination inboxes and the next round's
 // caps are computed (a YAWNS/LBTS-style synchronization).
 //
+// Cross-shard sends are staged per (source, destination) shard pair and
+// handed over as whole slices at the barrier — one inbox absorb per pair
+// per round instead of a heap push per message — mirroring how the
+// paper's NIC-based barriers amortize synchronization over many
+// operations. Rounds that execute little work skip the worker-goroutine
+// spawn entirely and run their windows inline, so fine-grained phases do
+// not pay scheduler overhead per round.
+//
 // Determinism does not depend on the schedule: messages are ordered by
 // (time, channel id, channel sequence) — build-time identities — and at
 // equal timestamps every engine runs inbox messages before heap events.
-// A group of one shard executes the exact same order with no goroutines.
+// A group of one shard executes the exact same order with no goroutines,
+// and batched delivery feeds the same (time, chid, seq)-keyed heap as
+// per-message delivery, so both modes execute the identical order.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sync"
 )
@@ -34,6 +43,13 @@ type Group struct {
 	incoming   [][]*Chan // per shard: cross-shard chans delivering to it
 	nextChanID uint64
 
+	// perMessage disables batched barrier delivery: staged messages are
+	// pushed into destination inboxes one heap push at a time, the way
+	// the pre-batching engine worked. Both paths feed the same
+	// (time, chid, seq)-ordered heap, so execution is identical; the
+	// toggle exists so the invariance tests can prove that.
+	perMessage bool
+
 	// dist[j][i] is the minimum accumulated channel delay over any path of
 	// one or more channels from shard j to shard i (infTime when no path
 	// exists; the diagonal is a round trip through other shards, not 0).
@@ -43,6 +59,14 @@ type Group struct {
 	// idle. Rebuilt lazily after channel creation.
 	dist      [][]Time
 	distDirty bool
+
+	// Per-round scratch, reused across rounds to keep the barrier loop
+	// allocation-free. The WaitGroup lives here rather than on RunUntil's
+	// stack because the worker closures capture it, which would otherwise
+	// heap-allocate it once per RunUntil call.
+	next     []Time
+	runnable []window
+	wg       sync.WaitGroup
 
 	// critPath accumulates, over all barrier rounds, the largest number
 	// of work items any single shard executed in that round: the length
@@ -56,6 +80,14 @@ type Group struct {
 // infTime is an effectively infinite timestamp (far beyond any workload,
 // still safe to add channel delays to without overflow).
 const infTime = Time(1) << 60
+
+// seqRoundWork is the adaptive-round threshold: when the previous round's
+// heaviest shard executed fewer work items than this, the next round runs
+// its windows inline on the scheduler goroutine instead of spawning
+// workers. Spawning plus barrier wake-ups costs a few microseconds; a
+// round this light finishes faster than the spawn, and fine-grained
+// phases (lockstep barriers, drain tails) hit this continuously.
+const seqRoundWork = 64
 
 // NewGroup returns a group of `shards` engines. Shard i's random source
 // is seeded with seed+i; NewGroup(seed, 1) is equivalent to
@@ -72,10 +104,16 @@ func NewGroup(seed int64, shards int) *Group {
 		e := NewEngine(seed + int64(i))
 		e.group = g
 		e.shard = i
+		e.stage = make([][]xmsg, shards)
 		g.engines[i] = e
 	}
 	return g
 }
+
+// SetPerMessageDelivery switches the barrier between batched slice
+// hand-off (the default, false) and legacy per-message heap pushes.
+// Both produce identical execution order; see the Group doc.
+func (g *Group) SetPerMessageDelivery(on bool) { g.perMessage = on }
 
 // Shards reports the number of engines in the group.
 func (g *Group) Shards() int { return len(g.engines) }
@@ -95,14 +133,14 @@ func (g *Group) Now() Time {
 }
 
 // Pending reports live queued events plus undelivered messages (inboxes
-// and staged channel sends) across all shards.
+// and staged cross-shard sends) across all shards.
 func (g *Group) Pending() int {
 	n := 0
 	for _, e := range g.engines {
 		n += e.Pending()
-	}
-	for _, ch := range g.chans {
-		n += len(ch.pending)
+		for _, batch := range e.stage {
+			n += len(batch)
+		}
 	}
 	return n
 }
@@ -157,15 +195,19 @@ func (g *Group) RunUntil(deadline Time) error {
 	if g.distDirty || g.dist == nil {
 		g.rebuildDist()
 	}
-	var wg sync.WaitGroup
-	var runnable []window
+	if g.next == nil {
+		g.next = make([]Time, len(g.engines))
+	}
+	next := g.next
+	// Assume a light first round; the spawn decision self-corrects after
+	// one round either way.
+	var lastRoundMax uint64
 	for {
 		g.flush()
 		if err := g.failureOrStopped(); err != nil || g.anyStopped() {
 			return err
 		}
 		// Global lower bound on remaining work.
-		next := make([]Time, len(g.engines))
 		var globalNext Time
 		haveWork := false
 		for i, e := range g.engines {
@@ -184,7 +226,7 @@ func (g *Group) RunUntil(deadline Time) error {
 			break
 		}
 		// Per-shard safe horizon from incoming channel lookahead.
-		runnable = runnable[:0]
+		runnable := g.runnable[:0]
 		for i, e := range g.engines {
 			if next[i] < 0 {
 				continue // nothing queued; cross-shard sends arrive at a barrier
@@ -198,31 +240,41 @@ func (g *Group) RunUntil(deadline Time) error {
 			}
 			runnable = append(runnable, window{e: e, cap: cap})
 		}
+		g.runnable = runnable[:0]
 		if len(runnable) == 0 {
 			break // nothing runnable below the deadline
 		}
-		// Run all but one window on worker goroutines and the last on
-		// this goroutine: it saves a spawn, and when only one shard has
-		// work the round is entirely sequential.
 		for i := range runnable {
 			runnable[i].execBefore = runnable[i].e.executed
 		}
-		for _, w := range runnable[:len(runnable)-1] {
-			wg.Add(1)
-			//tgvet:allow shardlocal(the round scheduler itself: workers run disjoint shards and join at the barrier before any state is shared)
-			go func(e *Engine, cap Time) {
-				defer wg.Done()
-				defer func() {
-					if r := recover(); r != nil {
-						e.fail("event", r)
-					}
-				}()
-				e.runWindow(cap, deadline)
-			}(w.e, w.cap)
+		if lastRoundMax < seqRoundWork || len(runnable) == 1 {
+			// Light round (or only one shard has work): run every window
+			// inline. Shards still execute in disjoint windows separated by
+			// the same barrier math, so the order within each shard — and
+			// therefore the trace — is identical to the parallel schedule.
+			for _, w := range runnable {
+				g.runShielded(w.e, w.cap, deadline)
+			}
+		} else {
+			// Run all but one window on worker goroutines and the last on
+			// this goroutine: it saves a spawn.
+			for _, w := range runnable[:len(runnable)-1] {
+				g.wg.Add(1)
+				//tgvet:allow shardlocal(the round scheduler itself: workers run disjoint shards and join at the barrier before any state is shared)
+				go func(e *Engine, cap Time) {
+					defer g.wg.Done()
+					defer func() {
+						if r := recover(); r != nil {
+							e.fail("event", r)
+						}
+					}()
+					e.runWindow(cap, deadline)
+				}(w.e, w.cap)
+			}
+			last := runnable[len(runnable)-1]
+			g.runShielded(last.e, last.cap, deadline)
+			g.wg.Wait()
 		}
-		last := runnable[len(runnable)-1]
-		last.e.runWindow(last.cap, deadline)
-		wg.Wait()
 		var maxDelta uint64
 		for _, w := range runnable {
 			if d := w.e.executed - w.execBefore; d > maxDelta {
@@ -230,6 +282,7 @@ func (g *Group) RunUntil(deadline Time) error {
 			}
 		}
 		g.critPath += maxDelta
+		lastRoundMax = maxDelta
 	}
 	if err := g.failureOrStopped(); err != nil || g.anyStopped() {
 		return err
@@ -252,6 +305,17 @@ func (g *Group) RunUntil(deadline Time) error {
 		return fmt.Errorf("%w (%d blocked)", ErrStalled, n)
 	}
 	return nil
+}
+
+// runShielded runs one shard's window on the scheduler goroutine with the
+// same panic-to-failure conversion the worker goroutines apply.
+func (g *Group) runShielded(e *Engine, cap, deadline Time) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.fail("event", r)
+		}
+	}()
+	e.runWindow(cap, deadline)
 }
 
 // window pairs a shard with its safe horizon for one round.
@@ -318,16 +382,29 @@ func (g *Group) rebuildDist() {
 }
 
 // flush moves every staged cross-shard message into its destination
-// inbox. Called only between rounds, when no shard is executing.
+// inbox — one slice absorb per (source, destination) shard pair in the
+// default batched mode. Called only between rounds, when no shard is
+// executing. The staging buffers are retained and reused, so a warmed-up
+// barrier allocates nothing.
 func (g *Group) flush() {
-	for _, ch := range g.chans {
-		if len(ch.pending) == 0 {
-			continue
+	for _, e := range g.engines {
+		for d, batch := range e.stage {
+			if len(batch) == 0 {
+				continue
+			}
+			dst := g.engines[d]
+			if g.perMessage {
+				for _, m := range batch {
+					dst.inbox.push(m)
+				}
+			} else {
+				dst.inbox.absorb(batch)
+			}
+			for i := range batch {
+				batch[i] = xmsg{} // release callback closures
+			}
+			e.stage[d] = batch[:0]
 		}
-		for _, m := range ch.pending {
-			heap.Push(&ch.dst.inbox, m)
-		}
-		ch.pending = ch.pending[:0]
 	}
 }
 
@@ -361,7 +438,6 @@ type Chan struct {
 	src, dst *Engine
 	minDelay Time
 	seq      uint64
-	pending  []xmsg
 }
 
 // NewChan creates a channel from src to dst with the given minimum
@@ -392,6 +468,9 @@ func NewChan(src, dst *Engine, minDelay Time) *Chan {
 		ch.id = src.nextChanID
 		src.nextChanID++
 	}
+	if ch.id >= 1<<(64-msgSeqBits) {
+		panic("sim: too many channels for the packed message key")
+	}
 	return ch
 }
 
@@ -402,15 +481,24 @@ func (ch *Chan) MinDelay() Time { return ch.minDelay }
 // after the source engine's current time (clamped up to the channel's
 // minimum delay). It must be called from the source engine's context —
 // an event, message, or process running on it — or during build.
+//
+// Same-shard sends go straight into the destination inbox heap;
+// cross-shard sends are staged in the source engine's per-destination
+// buffer and handed over at the next barrier. Neither path allocates in
+// steady state.
 func (ch *Chan) Send(delay Time, fn func()) {
 	if delay < ch.minDelay {
 		delay = ch.minDelay
 	}
-	m := xmsg{at: ch.src.now + delay, chid: ch.id, seq: ch.seq, fn: fn}
+	if ch.seq >= 1<<msgSeqBits {
+		panic("sim: per-channel sequence overflowed the packed message key")
+	}
+	m := xmsg{at: ch.src.now + delay, key: ch.id<<msgSeqBits | ch.seq, fn: fn}
 	ch.seq++
-	if ch.src == ch.dst {
-		heap.Push(&ch.dst.inbox, m)
+	if ch.src.shard == ch.dst.shard || ch.src.group == nil {
+		ch.dst.inbox.push(m)
 	} else {
-		ch.pending = append(ch.pending, m)
+		src := ch.src
+		src.stage[ch.dst.shard] = append(src.stage[ch.dst.shard], m)
 	}
 }

@@ -11,7 +11,7 @@ import (
 // live events and the internal heap must have shed the dead ones.
 func TestCancelCompaction(t *testing.T) {
 	e := NewEngine(1)
-	var evs []*Event
+	var evs []Event
 	for i := 0; i < 1000; i++ {
 		evs = append(evs, e.Schedule(Time(i+1), func() {}))
 	}
@@ -21,8 +21,8 @@ func TestCancelCompaction(t *testing.T) {
 	if got := e.Pending(); got != 100 {
 		t.Fatalf("Pending after cancels = %d, want 100 (live events only)", got)
 	}
-	if len(e.events) >= 1000 {
-		t.Fatalf("heap holds %d entries after canceling 900 of 1000; compaction never ran", len(e.events))
+	if e.events.len() >= 1000 {
+		t.Fatalf("heap holds %d entries after canceling 900 of 1000; compaction never ran", e.events.len())
 	}
 	ran := 0
 	e.At(2000, func() { ran++ })

@@ -164,42 +164,69 @@ func (h *Histogram) NumBuckets() int { return len(h.buckets) }
 func (h *Histogram) Outliers() (under, over int64) { return h.underflow, h.overflow }
 
 // CounterSet is an ordered collection of named int64 counters. Iteration
-// (Names) follows first-Add order, so reports are stable.
+// (Names) follows first-use order, so reports are stable.
 type CounterSet struct {
 	order  []string
-	counts map[string]int64
+	counts map[string]*int64
 }
 
 // NewCounterSet returns an empty counter set.
 func NewCounterSet() *CounterSet {
-	return &CounterSet{counts: make(map[string]int64)}
+	return &CounterSet{counts: make(map[string]*int64)}
+}
+
+// Cell returns the addressable cell behind counter name, creating it if
+// needed. Hot paths resolve their cells once at construction and bump
+// through the pointer, skipping the per-event map lookup; a cell that is
+// never incremented stays invisible to Names/Get/String.
+func (cs *CounterSet) Cell(name string) *int64 {
+	c, ok := cs.counts[name]
+	if !ok {
+		c = new(int64)
+		cs.counts[name] = c
+		cs.order = append(cs.order, name)
+	}
+	return c
 }
 
 // Add increments counter name by delta, creating it if needed.
-func (cs *CounterSet) Add(name string, delta int64) {
-	if _, ok := cs.counts[name]; !ok {
-		cs.order = append(cs.order, name)
-	}
-	cs.counts[name] += delta
-}
+func (cs *CounterSet) Add(name string, delta int64) { *cs.Cell(name) += delta }
 
 // Inc increments counter name by one.
-func (cs *CounterSet) Inc(name string) { cs.Add(name, 1) }
+func (cs *CounterSet) Inc(name string) { *cs.Cell(name)++ }
 
 // Get reports counter name's value (0 if absent).
-func (cs *CounterSet) Get(name string) int64 { return cs.counts[name] }
+func (cs *CounterSet) Get(name string) int64 {
+	if c, ok := cs.counts[name]; ok {
+		return *c
+	}
+	return 0
+}
 
-// Names lists counters in first-use order.
-func (cs *CounterSet) Names() []string { return append([]string(nil), cs.order...) }
+// Names lists nonzero counters in first-use order. Zero-valued cells are
+// skipped so pre-resolved but untouched counters don't clutter reports.
+func (cs *CounterSet) Names() []string {
+	names := make([]string, 0, len(cs.order))
+	for _, n := range cs.order {
+		if *cs.counts[n] != 0 {
+			names = append(names, n)
+		}
+	}
+	return names
+}
 
-// String renders "a=1 b=2 ..." in first-use order.
+// String renders "a=1 b=2 ..." in first-use order, skipping zero cells.
 func (cs *CounterSet) String() string {
 	var b strings.Builder
-	for i, n := range cs.order {
-		if i > 0 {
+	for _, n := range cs.order {
+		v := *cs.counts[n]
+		if v == 0 {
+			continue
+		}
+		if b.Len() > 0 {
 			b.WriteByte(' ')
 		}
-		fmt.Fprintf(&b, "%s=%d", n, cs.counts[n])
+		fmt.Fprintf(&b, "%s=%d", n, v)
 	}
 	return b.String()
 }

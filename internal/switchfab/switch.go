@@ -42,9 +42,12 @@ type Switch struct {
 	eng  *sim.Engine
 	cfg  Config
 
-	in      []*link.Link // per port: traffic arriving into the switch
-	out     []*link.Link // per port: traffic leaving the switch
-	routes  map[addrspace.NodeID]int
+	in  []*link.Link // per port: traffic arriving into the switch
+	out []*link.Link // per port: traffic leaving the switch
+	// routes is a dense output-port table indexed by destination node
+	// (-1 = no route): route lookup runs twice per forwarded packet, so it
+	// is an array walk, not a hash.
+	routes  []int16
 	started bool
 
 	forwarded int64
@@ -53,7 +56,7 @@ type Switch struct {
 
 // New returns a switch with no ports.
 func New(eng *sim.Engine, name string, cfg Config) *Switch {
-	return &Switch{name: name, eng: eng, cfg: cfg, routes: make(map[addrspace.NodeID]int)}
+	return &Switch{name: name, eng: eng, cfg: cfg}
 }
 
 // Name returns the switch's diagnostic name.
@@ -79,13 +82,18 @@ func (s *Switch) SetRoute(dst addrspace.NodeID, port int) {
 	if port < 0 || port >= len(s.in) {
 		panic(fmt.Sprintf("switchfab: route to %v through invalid port %d", dst, port))
 	}
-	s.routes[dst] = port
+	for len(s.routes) <= int(dst) {
+		s.routes = append(s.routes, -1)
+	}
+	s.routes[dst] = int16(port)
 }
 
 // Route reports the output port for dst and whether a route exists.
 func (s *Switch) Route(dst addrspace.NodeID) (int, bool) {
-	p, ok := s.routes[dst]
-	return p, ok
+	if int(dst) >= len(s.routes) || s.routes[dst] < 0 {
+		return 0, false
+	}
+	return int(s.routes[dst]), true
 }
 
 // internalBufPackets is the per-input-VC routed-packet buffer between the
@@ -93,44 +101,107 @@ func (s *Switch) Route(dst addrspace.NodeID) (int, bool) {
 // propagates to the input link.
 const internalBufPackets = 4
 
-// Start spawns the forwarding processes: per input port and virtual
-// channel, a two-stage pipeline (route lookup, then output transmission)
-// connected by a small bounded buffer. Packets on one input VC traverse
-// both stages strictly in arrival order, which preserves
+// portPipe is the event-driven forwarding pipeline of one (input port,
+// virtual channel) pair: a route stage and an output (xmit) stage joined
+// by a small bounded buffer, exactly the two-stage structure the old
+// coroutine pair modeled, but driven by link arrival notifications and
+// wire-clear callbacks instead of parked processes. Packets on one input
+// VC traverse both stages strictly in arrival order, which preserves
 // per-source-destination ordering, and the route stage overlaps with the
 // previous packet's transmission, so RouteDelay adds latency without
 // costing throughput — as in the real pipelined switch [16].
+type portPipe struct {
+	sw *Switch
+	in *link.Link
+	vc packet.VC
+
+	routed  []*packet.Packet // route->xmit buffer, cap internalBufPackets
+	held    *packet.Packet   // routed but stalled on a full buffer
+	current *packet.Packet   // packet in the route stage
+	sending bool             // xmit stage waiting for its wire-clear
+
+	routeDoneFn func() // prebound stage-completion callbacks
+	clearFn     func()
+	intakeFn    func()
+}
+
+// intake is the route-stage entry: it runs on every input-link arrival
+// and whenever the stage frees up, consuming the next packet if the
+// stage is idle and not stalled behind a full buffer.
+func (pp *portPipe) intake() {
+	for pp.current == nil && pp.held == nil {
+		pkt, ok := pp.in.TryRecv(pp.vc)
+		if !ok {
+			return
+		}
+		if _, ok := pp.sw.Route(pkt.Dst); !ok {
+			// A misroute is a fabric configuration bug; count it and drop
+			// so the failure is visible in telemetry rather than a hang.
+			pp.sw.misroutes++
+			continue
+		}
+		pp.current = pkt
+		pp.sw.eng.Schedule(pp.sw.cfg.RouteDelay, pp.routeDoneFn) //tgvet:allow eventdrop(route-done always fires; pp.current stays occupied until it does)
+		return
+	}
+}
+
+// routeDone moves the routed packet into the buffer (or parks it as held
+// when the buffer is full — the back-pressure point) and kicks both
+// stages.
+func (pp *portPipe) routeDone() {
+	pkt := pp.current
+	pp.current = nil
+	if len(pp.routed) < internalBufPackets {
+		pp.routed = append(pp.routed, pkt)
+		pp.xmit()
+		pp.intake()
+	} else {
+		pp.held = pkt
+		pp.xmit()
+	}
+}
+
+// xmit launches the oldest buffered packet on its output link; the next
+// launch happens from the wire-clear callback, so one packet occupies the
+// output stage at a time, just as the blocking Send serialized the old
+// xmit process.
+func (pp *portPipe) xmit() {
+	if pp.sending || len(pp.routed) == 0 {
+		return
+	}
+	pkt := pp.routed[0]
+	copy(pp.routed, pp.routed[1:])
+	pp.routed[len(pp.routed)-1] = nil
+	pp.routed = pp.routed[:len(pp.routed)-1]
+	if pp.held != nil {
+		pp.routed = append(pp.routed, pp.held)
+		pp.held = nil
+		pp.intake()
+	}
+	pp.sending = true
+	port := int(pp.sw.routes[pkt.Dst])
+	pp.sw.out[port].SendEv(pkt, pp.clearFn)
+}
+
+// Start wires up the forwarding pipelines: per input port and virtual
+// channel, a portPipe driven by arrival notifications.
 func (s *Switch) Start() {
 	if s.started {
 		return
 	}
 	s.started = true
-	for i, in := range s.in {
+	for _, in := range s.in {
 		for vc := packet.VC(0); vc < packet.NumVCs; vc++ {
-			in, i, vc := in, i, vc
-			routed := sim.NewQueue[*packet.Packet](s.eng, internalBufPackets)
-			s.eng.SpawnDaemon(fmt.Sprintf("%s.port%d.vc%d.route", s.name, i, vc), func(p *sim.Proc) {
-				for {
-					pkt := in.Recv(p, vc)
-					if _, ok := s.routes[pkt.Dst]; !ok {
-						// A misroute is a fabric configuration bug; count
-						// it and drop so the failure is visible in
-						// telemetry rather than a hang.
-						s.misroutes++
-						continue
-					}
-					p.Sleep(s.cfg.RouteDelay)
-					routed.Put(p, pkt)
-				}
-			})
-			s.eng.SpawnDaemon(fmt.Sprintf("%s.port%d.vc%d.xmit", s.name, i, vc), func(p *sim.Proc) {
-				for {
-					pkt := routed.Get(p)
-					port := s.routes[pkt.Dst]
-					s.out[port].Send(p, pkt)
-					s.forwarded++
-				}
-			})
+			pp := &portPipe{sw: s, in: in, vc: vc}
+			pp.routeDoneFn = pp.routeDone
+			pp.intakeFn = pp.intake
+			pp.clearFn = func() {
+				s.forwarded++
+				pp.sending = false
+				pp.xmit()
+			}
+			in.SetNotify(vc, pp.intakeFn)
 		}
 	}
 }

@@ -46,6 +46,19 @@ func (n *Network) Send(p *sim.Proc, pkt *packet.Packet) {
 	n.toNet[pkt.Src].Send(p, pkt)
 }
 
+// SendEv injects pkt at its source node from event context; onClear (may
+// be nil) runs when the packet clears the injection wire. See
+// link.Link.SendEv.
+func (n *Network) SendEv(pkt *packet.Packet, onClear func()) {
+	n.toNet[pkt.Src].SendEv(pkt, onClear)
+}
+
+// SetNotify registers fn to run whenever a packet addressed to node
+// becomes available on vc; drain with TryRecv. See link.Link.SetNotify.
+func (n *Network) SetNotify(node addrspace.NodeID, vc packet.VC, fn func()) {
+	n.fromNet[node].SetNotify(vc, fn)
+}
+
 // Recv returns the next packet addressed to node on vc, blocking the
 // calling process until one arrives.
 func (n *Network) Recv(p *sim.Proc, node addrspace.NodeID, vc packet.VC) *packet.Packet {

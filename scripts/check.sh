@@ -24,11 +24,24 @@ echo '== go test -race ./...'
 go test -race ./...
 
 # Sharded-engine determinism: the same workloads must produce
-# bit-identical traces and experiment results on 1 and N shards, with
-# the shard workers packed onto one OS thread and spread across four.
+# bit-identical traces and experiment results on 1, 2, 4, and 8 shards
+# (batched and per-message barrier delivery), with the shard workers
+# packed onto one OS thread and spread across four.
 echo '== shard determinism (-cpu 1,4)'
 go test ./internal/simtest -run TestShardInvariantTraceHash -cpu 1,4 -count 1
 go test ./internal/experiments -run TestExperimentsShardInvariant -cpu 1,4 -count 1
+
+# Hot-path allocation budgets: schedule/fire/recycle and Chan.Send must
+# stay at zero allocations per event in steady state.
+echo '== allocation budgets (-cpu 1,4)'
+go test ./internal/sim -run 'Allocs$' -cpu 1,4 -count 1
+
+# Throughput floor: a short single-shard PDES smoke must stay above the
+# floor recorded by `make bench` (BENCH_pdes.floor). The floor is scaled
+# down on hosts that run the calibration spin slower than the recording
+# host, so this catches engine regressions, not slow CI hardware.
+echo '== PDES throughput floor'
+go test ./internal/experiments -run '^$' -bench BenchmarkPDESThroughputFloor -benchtime 3x -count 1
 
 echo '== tgchaos 2-shard smoke'
 go run ./cmd/tgchaos -seeds 10 -shards 2
