@@ -14,6 +14,10 @@
 //	tgbench -pdes -out BENCH.json    # PDES node×shard scaling sweep
 //	                                 # (also records BENCH.floor, the CI
 //	                                 # throughput gate scripts/check.sh uses)
+//	tgbench -pdes -trace-window 4096 # sweep with the streaming trace
+//	                                 # pipeline attached: reports the
+//	                                 # shard-invariant fingerprint and
+//	                                 # peak (window-bounded) residency
 package main
 
 import (
@@ -34,11 +38,13 @@ func main() {
 	perMsg := flag.Bool("permsg", false, "legacy per-message barrier delivery instead of batched hand-off (results are invariant; only wall time changes)")
 	pdes := flag.Bool("pdes", false, "run the PDES node×shard scaling sweep instead of the experiments")
 	out := flag.String("out", "", "with -pdes: also write the sweep report as JSON to this file (plus the throughput floor as <file>.floor)")
+	traceWindow := flag.Int("trace-window", 0, "with -pdes: attach the streaming trace pipeline with this per-node ring capacity (0 = untraced); the report then includes the shard-invariant fingerprint and peak trace residency")
 	flag.Parse()
 
 	experiments.SetSeed(*seed)
 	experiments.SetShards(*shards)
 	experiments.SetPerMessageDelivery(*perMsg)
+	experiments.SetTraceWindow(*traceWindow)
 
 	if *pdes {
 		rep := experiments.PDESSweep(

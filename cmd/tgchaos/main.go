@@ -13,6 +13,10 @@
 //	tgchaos -broken            # sanity: the broken protocol must be caught
 //	tgchaos -shards 2          # sharded engine (hashes match -shards 1)
 //	tgchaos -permsg            # legacy per-message barrier delivery
+//	tgchaos -window 512        # trace ring capacity per node (bounded memory)
+//	tgchaos -checkpoint        # checkpoint/restore the trace state mid-run
+//	                           # and require the same final hash as an
+//	                           # uninterrupted run of the same seed
 //
 // Exit status 1 if any scenario violated an invariant.
 package main
@@ -35,6 +39,10 @@ func main() {
 	verbose := flag.Bool("v", false, "print every scenario, not just failures")
 	shards := flag.Int("shards", 1, "simulation shards (trace hashes are invariant to this)")
 	perMsg := flag.Bool("permsg", false, "legacy per-message barrier delivery (trace hashes are invariant to this)")
+	window := flag.Int("window", 0, "per-node trace ring capacity (0 = trace.DefaultWindow); memory stays O(window), not O(events)")
+	checkpoint := flag.Bool("checkpoint", false, "encode/decode/swap the trace state at a barrier mid-run and require the final hash to match an uninterrupted run")
+	opsPerNode := flag.Int("ops", 0, "override the per-node op count of every scenario (0 = scenario default)")
+	spill := flag.String("spill", "", "page the canonical merged stream to this TGE1 file (sweeps write <path>.<seed>); inspect with `tgtrace events`")
 	flag.Parse()
 
 	lo, hi := *start, *start+*seeds
@@ -42,24 +50,63 @@ func main() {
 		lo, hi = *one, *one+1
 		*verbose = true
 	}
+	if *checkpoint && *opsPerNode == 0 {
+		// Scenarios must run long enough to cross a drain boundary with
+		// merged output, or there is no barrier to checkpoint at.
+		*opsPerNode = 150
+	}
 
 	failures := 0
 	for seed := lo; seed < hi; seed++ {
-		res, err := simtest.Run(seed, simtest.Options{NoFaults: *clean, BreakCoherence: *broken, Shards: *shards, PerMessageDelivery: *perMsg})
+		opts := simtest.Options{
+			NoFaults: *clean, BreakCoherence: *broken,
+			Shards: *shards, PerMessageDelivery: *perMsg,
+			TraceWindow: *window, OpsPerNode: *opsPerNode,
+		}
+		if *spill != "" {
+			opts.SpillPath = *spill
+			if hi-lo > 1 {
+				opts.SpillPath = fmt.Sprintf("%s.%d", *spill, seed)
+			}
+		}
+		res, err := simtest.Run(seed, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tgchaos: seed %d: %v\n", seed, err)
 			os.Exit(1)
 		}
-		if *verbose || res.Failed() {
-			fmt.Printf("%s  events=%d hash=%#016x time=%v\n",
-				res.Scenario.String(), res.Events, res.TraceHash, res.SimTime)
+		bad := res.Failed()
+		if *checkpoint {
+			// The checkpointed rerun must land on the identical trace.
+			copts := opts
+			copts.Checkpoint = true
+			copts.SpillPath = "" // don't clobber the base run's spill file
+			cp, err := simtest.Run(seed, copts)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tgchaos: seed %d (checkpoint): %v\n", seed, err)
+				os.Exit(1)
+			}
+			switch {
+			case !cp.Checkpointed:
+				fmt.Printf("seed %d: checkpoint never triggered (run too short for a drain boundary?)\n", seed)
+				bad = true
+			case cp.TraceHash != res.TraceHash || cp.Events != res.Events || cp.SimTime != res.SimTime:
+				fmt.Printf("seed %d: CHECKPOINT DIVERGENCE restored run (hash %#016x, %d events, %v) != uninterrupted (hash %#016x, %d events, %v)\n",
+					seed, cp.TraceHash, cp.Events, cp.SimTime, res.TraceHash, res.Events, res.SimTime)
+				bad = true
+			case *verbose:
+				fmt.Printf("seed %d: checkpoint/restore reproduced hash %#016x\n", seed, cp.TraceHash)
+			}
+		}
+		if *verbose || bad {
+			fmt.Printf("%s  events=%d hash=%#016x time=%v peak-resident=%d\n",
+				res.Scenario.String(), res.Events, res.TraceHash, res.SimTime, res.PeakResident)
 			if res.Scenario.Faults != nil {
 				fs := res.FaultStats
 				fmt.Printf("  faults: dropped=%d duplicated=%d reordered=%d retransmits=%d deduped=%d\n",
 					fs.Dropped, fs.Duplicated, fs.Reordered, fs.Retransmits, fs.Deduped)
 			}
 		}
-		if res.Failed() {
+		if bad {
 			failures++
 			for _, v := range res.Violations {
 				fmt.Printf("  VIOLATION %s\n", v.String())

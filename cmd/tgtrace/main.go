@@ -6,11 +6,14 @@
 //	tgtrace gen -kind hotpage -n 10000 -out t.tgt   # generate a trace
 //	tgtrace stat t.tgt                              # summarize a trace
 //	tgtrace replay -nodes 4 t.tgt                   # replay over the update protocol
+//	tgtrace events -n 20 run.tge                    # inspect a TGE1 event spill
+//	                                                # (written by tgchaos -spill)
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"telegraphos/internal/addrspace"
@@ -32,14 +35,79 @@ func main() {
 		stat(os.Args[2:])
 	case "replay":
 		replay(os.Args[2:])
+	case "events":
+		events(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: tgtrace gen|stat|replay [flags]")
+	fmt.Fprintln(os.Stderr, "usage: tgtrace gen|stat|replay|events [flags]")
 	os.Exit(2)
+}
+
+// events dumps a TGE1 event spill (the canonical merged stream a
+// windowed log paged to disk): per-kind and per-node totals, the
+// recomputed incremental fingerprint, and optionally the records
+// themselves.
+func events(args []string) {
+	fs := flag.NewFlagSet("events", flag.ExitOnError)
+	n := fs.Int("n", 0, "print the first n records (0 = summary only)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	sr, err := trace.NewSpillReader(f)
+	if err != nil {
+		fatal(err)
+	}
+	var (
+		total   int
+		hash    = trace.HashInit
+		byKind  = make(map[trace.EventKind]int)
+		byNode  = make(map[int]int)
+		lastAt  int64
+		firstAt int64
+	)
+	for {
+		e, err := sr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fatal(fmt.Errorf("%s: record %d: %w", fs.Arg(0), total, err))
+		}
+		if total == 0 {
+			firstAt = e.At
+		}
+		if *n > 0 && total < *n {
+			fmt.Println(e.String())
+		}
+		hash = trace.FoldHash(hash, e)
+		byKind[e.Kind]++
+		byNode[e.Node]++
+		lastAt = e.At
+		total++
+	}
+	fmt.Printf("events:  %d (t=%d..%d)\nhash:    %#016x\n", total, firstAt, lastAt, hash)
+	for k := trace.EventKind(0); k < 64; k++ {
+		if byKind[k] > 0 {
+			fmt.Printf("  %-18s %d\n", k.String(), byKind[k])
+		}
+	}
+	printed := 0
+	for node := 0; printed < len(byNode) && node < 1<<20; node++ {
+		if c, ok := byNode[node]; ok {
+			fmt.Printf("  node%-14d %d\n", node, c)
+			printed++
+		}
+	}
 }
 
 func gen(args []string) {

@@ -14,7 +14,10 @@
 //   - maporder: no order-sensitive effects inside map iteration;
 //   - shardlocal: no blocking primitives in event callbacks and no raw
 //     goroutines outside the engine's hand-off discipline;
-//   - eventdrop: no discarded *sim.Event timer handles.
+//   - eventdrop: no discarded *sim.Event timer handles;
+//   - tracesink: HIB recorders built from trace recorders only, and no
+//     host filesystem access in the trace pipeline outside the spill
+//     writer.
 //
 // Legitimate exceptions are declared in the source with an escape
 // hatch:
@@ -62,6 +65,7 @@ func Analyzers() []*Analyzer {
 		AnalyzerMapOrder,
 		AnalyzerShardLocal,
 		AnalyzerEventDrop,
+		AnalyzerTraceSink,
 	}
 }
 

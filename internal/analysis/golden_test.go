@@ -16,5 +16,6 @@ func TestGolden(t *testing.T) {
 		"maporder":   analysis.AnalyzerMapOrder,
 		"shardlocal": analysis.AnalyzerShardLocal,
 		"eventdrop":  analysis.AnalyzerEventDrop,
+		"tracesink":  analysis.AnalyzerTraceSink,
 	})
 }

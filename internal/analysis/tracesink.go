@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerTraceSink proves two hygiene rules of the streaming trace
+// pipeline. First, every recorder installed on a HIB must be built from
+// a trace recorder (a `Recorder` method of one of internal/trace's log
+// types): an ad-hoc closure silently drops events from the canonical
+// merged stream the checkers and the fingerprint consume, so a tee or
+// filter must declare itself with //tgvet:allow tracesink(reason).
+// Second, packages in the pipeline (internal/trace and its importers,
+// cmd/* excluded) must not touch the host filesystem — paging windows
+// to disk is the spill writer's job, and any other genuine host I/O
+// (CI floor files, debug dumps) is declared with the same annotation.
+var AnalyzerTraceSink = &Analyzer{
+	Name: "tracesink",
+	Doc:  "HIB recorders must feed the trace pipeline, and only the spill writer touches the filesystem",
+	Run:  runTraceSink,
+}
+
+// tracesinkFSFuncs are the package os functions that touch the host
+// filesystem. Environment reads (os.Getenv) and process plumbing are
+// not flagged: they cannot corrupt or bypass the spill discipline.
+var tracesinkFSFuncs = map[string]bool{
+	"Create": true, "Open": true, "OpenFile": true,
+	"Remove": true, "RemoveAll": true, "Rename": true, "Truncate": true,
+	"WriteFile": true, "ReadFile": true,
+	"Mkdir": true, "MkdirAll": true, "MkdirTemp": true, "CreateTemp": true,
+}
+
+func runTraceSink(pass *Pass) {
+	info := pass.Pkg.Info
+	fsScope := tracesinkFSScope(pass.Pkg)
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if methodKey(calleeOf(info, call)) == "telegraphos/internal/hib.HIB.SetRecorder" &&
+				len(call.Args) == 1 && !isTraceRecorderCall(info, call.Args[0]) {
+				pass.Reportf(call.Pos(),
+					"recorder installed on a HIB is not built from a trace recorder: events it receives never reach the merged stream's sinks (checkers, fingerprint, spill) — pass a Recorder of an internal/trace log, or annotate the tee/filter //tgvet:allow tracesink(reason)")
+			}
+			if fsScope {
+				if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok &&
+					importedPath(info, sel.X) == "os" && tracesinkFSFuncs[sel.Sel.Name] {
+					pass.Reportf(call.Pos(),
+						"os.%s touches the host filesystem from the trace pipeline: paging to disk is the TGE1 spill writer's job — go through trace.NewFileSpill, or declare genuine host I/O with //tgvet:allow tracesink(reason)",
+						sel.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// tracesinkFSScope reports whether the filesystem rule applies to pkg:
+// internal/trace itself and every non-cmd package importing it.
+func tracesinkFSScope(pkg *Package) bool {
+	if strings.HasSuffix(pkg.ImportPath, "internal/trace") {
+		return true
+	}
+	if strings.Contains(pkg.ImportPath, "/cmd/") || strings.HasPrefix(pkg.ImportPath, "cmd/") {
+		return false
+	}
+	for _, f := range pkg.Files {
+		for _, imp := range f.Imports {
+			if strings.Trim(imp.Path.Value, `"`) == "telegraphos/internal/trace" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isTraceRecorderCall reports whether arg is a direct call to a
+// `Recorder` method of a type declared in internal/trace (the sanctioned
+// way to wire a HIB into the pipeline).
+func isTraceRecorderCall(info *types.Info, arg ast.Expr) bool {
+	c, ok := ast.Unparen(arg).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	key := methodKey(calleeOf(info, c))
+	return strings.HasPrefix(key, "telegraphos/internal/trace.") &&
+		strings.HasSuffix(key, ".Recorder")
+}

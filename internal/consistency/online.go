@@ -1,0 +1,120 @@
+package consistency
+
+import "fmt"
+
+// Online is the incremental form of CheckCoherent: observers report each
+// applied value as it lands, and the checker maintains the precedence
+// constraint graph as it grows instead of rebuilding it from complete
+// histories at the end of a run.
+//
+// Verdict equivalence with the batch checker: within a history free of
+// duplicates, the adjacent-pair edges (previous applied value -> new
+// value) generate the same transitive precedence relation as the batch
+// checker's all-pairs edges, so one graph has a cycle iff the other
+// does. Duplicates are caught at observation time, exactly as the batch
+// checker catches them before building the graph. Coherence is monotone
+// — constraints only accumulate — so the first violation is final and
+// the verdict over any interleaving of complete histories equals the
+// batch verdict over those histories.
+type Online struct {
+	seen map[string]map[uint64]bool
+	pos  map[string]int
+	last map[string]uint64
+	succ map[uint64]map[uint64]bool
+	vio  *Violation
+	// scratch for the reachability walk, reused across observations.
+	stack   []uint64
+	visited map[uint64]bool
+}
+
+// NewOnline returns an empty incremental coherence checker for one
+// memory word.
+func NewOnline() *Online {
+	return &Online{
+		seen:    make(map[string]map[uint64]bool),
+		pos:     make(map[string]int),
+		last:    make(map[string]uint64),
+		succ:    make(map[uint64]map[uint64]bool),
+		visited: make(map[uint64]bool),
+	}
+}
+
+// Observe records that who applied val next in its history and returns
+// the first violation that makes the histories incoherent, or nil. The
+// verdict is sticky: once a violation is found, every later call
+// returns it.
+func (o *Online) Observe(who string, val uint64) *Violation {
+	if o.vio != nil {
+		return o.vio
+	}
+	hist := o.seen[who]
+	if hist == nil {
+		hist = make(map[uint64]bool)
+		o.seen[who] = hist
+	}
+	if hist[val] {
+		o.vio = &Violation{
+			Kind: "duplicate-apply",
+			Detail: fmt.Sprintf("%s applied value %d twice (second at position %d): the A...A shape",
+				who, val, o.pos[who]),
+		}
+		return o.vio
+	}
+	hist[val] = true
+	o.pos[who]++
+	prev, had := o.last[who], len(hist) > 1
+	o.last[who] = val
+	if !had || prev == val || o.succ[prev][val] {
+		return nil
+	}
+	// Adding prev -> val closes a cycle iff val already reaches prev.
+	if o.reaches(val, prev) {
+		o.vio = &Violation{
+			Kind: "ordering-cycle",
+			Detail: fmt.Sprintf("values %d and %d admit no total order (%s observed %d before %d, but %d already precedes %d)",
+				prev, val, who, prev, val, val, prev),
+		}
+		return o.vio
+	}
+	if o.succ[prev] == nil {
+		o.succ[prev] = make(map[uint64]bool)
+	}
+	o.succ[prev][val] = true
+	return nil
+}
+
+// Err returns the sticky violation as an error, or nil.
+func (o *Online) Err() error {
+	if o.vio == nil {
+		return nil
+	}
+	return o.vio
+}
+
+// reaches reports whether dst is reachable from src over the accumulated
+// precedence edges.
+func (o *Online) reaches(src, dst uint64) bool {
+	if src == dst {
+		return true
+	}
+	o.stack = append(o.stack[:0], src)
+	for k := range o.visited {
+		delete(o.visited, k)
+	}
+	o.visited[src] = true
+	for len(o.stack) > 0 {
+		u := o.stack[len(o.stack)-1]
+		o.stack = o.stack[:len(o.stack)-1]
+		//tgvet:allow maporder(set union traversal: reachability is order-independent)
+		for v := range o.succ[u] {
+			if v == dst {
+				return true
+			}
+			if !o.visited[v] {
+				o.visited[v] = true
+				o.stack = append(o.stack, v)
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,144 @@
+package consistency
+
+import (
+	"fmt"
+	"testing"
+)
+
+// observeAll feeds complete histories into a fresh Online checker,
+// round-robin across observers (an arbitrary interleaving — the verdict
+// must not depend on it), and returns whether it stayed coherent.
+func observeAll(histories map[string][]uint64) bool {
+	o := NewOnline()
+	idx := make(map[string]int, len(histories))
+	// Deterministic observer order for the round-robin.
+	var whos []string
+	for i := 0; ; i++ {
+		who := fmt.Sprintf("node%d", i)
+		if _, ok := histories[who]; !ok {
+			break
+		}
+		whos = append(whos, who)
+	}
+	if len(whos) != len(histories) {
+		// Histories not named node0..nodeN: fall back to feeding each
+		// history whole (still a valid interleaving).
+		//tgvet:allow maporder(interleaving choice does not affect the coherence verdict)
+		for who, h := range histories {
+			for _, v := range h {
+				o.Observe(who, v)
+			}
+		}
+		return o.Err() == nil
+	}
+	for {
+		progressed := false
+		for _, who := range whos {
+			if idx[who] < len(histories[who]) {
+				o.Observe(who, histories[who][idx[who]])
+				idx[who]++
+				progressed = true
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	return o.Err() == nil
+}
+
+// TestOnlineAgainstBatchShapes pins the online checker on the same
+// canonical shapes the batch checker and brute oracle are pinned on.
+func TestOnlineAgainstBatchShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		h    map[string][]uint64
+		want bool
+	}{
+		{"empty", map[string][]uint64{}, true},
+		{"single", map[string][]uint64{"a": {1, 2, 3}}, true},
+		{"subsequences", map[string][]uint64{"a": {1, 2, 3}, "b": {1, 3}, "c": {2, 3}}, true},
+		{"two-cycle", map[string][]uint64{"a": {1, 2}, "b": {2, 1}}, false},
+		{"aba", map[string][]uint64{"a": {1, 2, 1}}, false},
+		{"three-cycle", map[string][]uint64{"a": {1, 2}, "b": {2, 3}, "c": {3, 1}}, false},
+		{"long-chain", map[string][]uint64{"a": {1, 2, 3, 4, 5}, "b": {2, 4}, "c": {1, 5}}, true},
+		{"diamond-cycle", map[string][]uint64{"a": {1, 2, 4}, "b": {1, 3, 4}, "c": {4, 1}}, false},
+	}
+	for _, tc := range cases {
+		if got := observeAll(tc.h); got != tc.want {
+			t.Errorf("%s: online = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestOnlineSticky: after the first violation the checker keeps
+// returning it, whatever comes next.
+func TestOnlineSticky(t *testing.T) {
+	o := NewOnline()
+	o.Observe("a", 1)
+	o.Observe("a", 2)
+	v := o.Observe("b", 2)
+	if v != nil {
+		t.Fatalf("consistent prefix flagged: %v", v)
+	}
+	v = o.Observe("b", 1) // closes the 2->1 / 1->2 cycle
+	if v == nil || v.Kind != "ordering-cycle" {
+		t.Fatalf("cycle not caught, got %v", v)
+	}
+	if w := o.Observe("c", 4); w != v {
+		t.Fatalf("verdict not sticky: %v then %v", v, w)
+	}
+	if o.Err() == nil {
+		t.Fatal("Err() nil after violation")
+	}
+}
+
+// TestOnlineDuplicatePosition: the duplicate-apply detail names the
+// observer and the repeated value.
+func TestOnlineDuplicate(t *testing.T) {
+	o := NewOnline()
+	o.Observe("replica3", 9)
+	o.Observe("replica3", 5)
+	v := o.Observe("replica3", 9)
+	if v == nil || v.Kind != "duplicate-apply" {
+		t.Fatalf("duplicate not caught: %v", v)
+	}
+}
+
+// TestOnlineRepeatedEdges: re-observing the same adjacent pair many
+// times must not grow state or change the verdict.
+func TestOnlineRepeatedEdges(t *testing.T) {
+	o := NewOnline()
+	for i := 0; i < 100; i++ {
+		who := fmt.Sprintf("n%d", i)
+		for v := uint64(1); v <= 5; v++ {
+			if viol := o.Observe(who, v); viol != nil {
+				t.Fatalf("observer %s value %d: %v", who, v, viol)
+			}
+		}
+	}
+	if len(o.succ) > 4 {
+		t.Errorf("edge set grew to %d sources for a 5-value chain", len(o.succ))
+	}
+}
+
+// FuzzOnlineCoherent cross-checks the online checker against both the
+// batch constraint-graph checker and the permutation oracle on the same
+// generated history sets FuzzCoherent uses.
+func FuzzOnlineCoherent(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 0x80, 1, 3})
+	f.Add([]byte{1, 2, 0x80, 2, 1})
+	f.Add([]byte{1, 2, 1})
+	f.Add([]byte{1, 2, 0x80, 2, 3, 0x80, 3, 1})
+	f.Add([]byte{4, 3, 2, 1, 0x80, 4, 2, 0x80, 3, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		histories := decodeHistories(data)
+		batch := CheckCoherent(histories) == nil
+		brute := BruteCheckCoherent(histories)
+		online := observeAll(histories)
+		if online != batch || online != brute {
+			t.Fatalf("online=%v batch=%v brute=%v for %v", online, batch, brute, histories)
+		}
+	})
+}

@@ -54,6 +54,25 @@ func SetPerMessageDelivery(on bool) { perMessage = on }
 // PerMessageDelivery reports the current barrier delivery mode.
 func PerMessageDelivery() bool { return perMessage }
 
+// traceWindow, when positive, attaches the streaming trace pipeline
+// (trace.WindowedLog with this per-node ring capacity) to the PDES sweep
+// clusters, so the sweep also measures recording overhead, the
+// shard-invariant fingerprint, and peak trace residency. Zero (the
+// default) runs the sweep untraced, exactly as before.
+var traceWindow = 0
+
+// SetTraceWindow overrides the PDES sweep's trace window (0 disables
+// tracing).
+func SetTraceWindow(n int) {
+	if n < 0 {
+		n = 0
+	}
+	traceWindow = n
+}
+
+// TraceWindow reports the current PDES trace window (0 = untraced).
+func TraceWindow() int { return traceWindow }
+
 // Row is one paper-vs-measured comparison line.
 type Row struct {
 	Name     string

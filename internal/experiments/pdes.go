@@ -12,6 +12,7 @@ import (
 	"telegraphos/internal/cpu"
 	"telegraphos/internal/params"
 	"telegraphos/internal/sim"
+	"telegraphos/internal/trace"
 )
 
 // The PDES scaling benchmark: a node-count × shard-count sweep over one
@@ -49,6 +50,12 @@ type PDESPoint struct {
 	SpeedupWall float64 `json:"speedup_wall"`
 	// SpeedupCritPath is events/critical-path for this cell.
 	SpeedupCritPath float64 `json:"speedup_critical_path"`
+	// TraceHash and the residency fields are populated only when the
+	// sweep runs with a trace window (tgbench -trace-window); the hash is
+	// shard-invariant and TracePeak stays O(window), not O(TraceEvents).
+	TraceHash   uint64 `json:"trace_hash,omitempty"`
+	TraceEvents uint64 `json:"trace_events,omitempty"`
+	TracePeak   int    `json:"trace_peak_resident,omitempty"`
 }
 
 // PDESReport is the full sweep, annotated with the host's parallelism so
@@ -76,10 +83,23 @@ func pdesCluster(nodes, shards int) *core.Cluster {
 	return core.New(cfg)
 }
 
+// pdesTrace is the per-cell streaming trace measurement (zero when the
+// sweep runs untraced).
+type pdesTrace struct {
+	hash   uint64
+	events uint64
+	peak   int
+}
+
 // pdesRun executes the workload on nodes×shards and reports wall time,
 // executed work, critical path, and final simulated time.
-func pdesRun(nodes, shards, ops int) (wall time.Duration, events, critPath uint64, simTime sim.Time) {
+func pdesRun(nodes, shards, ops int) (wall time.Duration, events, critPath uint64, simTime sim.Time, tr pdesTrace) {
 	c := pdesCluster(nodes, shards)
+	var w *trace.WindowedLog
+	if traceWindow > 0 {
+		w = trace.NewWindowedLog(nodes, traceWindow)
+		c.AttachTrace(w)
+	}
 	group := c.Cfg.ChainPerSwitch
 	// One shared word homed on every node; node i streams writes to the
 	// next node in its own switch group (wrapping inside the group).
@@ -109,7 +129,11 @@ func pdesRun(nodes, shards, ops int) (wall time.Duration, events, critPath uint6
 		panic(err)
 	}
 	wall = time.Since(start) //tgvet:allow walltime(host-side wall-clock measurement paired with the start stamp above)
-	return wall, c.Group.Executed(), c.Group.CritPath(), c.Group.Now()
+	if w != nil {
+		w.DrainAll()
+		tr = pdesTrace{hash: w.Hash(), events: w.Merged(), peak: w.MaxResident()}
+	}
+	return wall, c.Group.Executed(), c.Group.CritPath(), c.Group.Now(), tr
 }
 
 // PDESSweep runs the node-count × shard-count grid. Within one node
@@ -126,16 +150,20 @@ func PDESSweep(nodeCounts, shardCounts []int, ops int) *PDESReport {
 		var baseWall time.Duration
 		var baseEvents uint64
 		var baseSim sim.Time
+		var baseTrace pdesTrace
 		for _, s := range shardCounts {
 			if s > n {
 				continue
 			}
-			wall, events, crit, simT := pdesRun(n, s, ops)
+			wall, events, crit, simT, tr := pdesRun(n, s, ops)
 			if s == shardCounts[0] {
-				baseWall, baseEvents, baseSim = wall, events, simT
+				baseWall, baseEvents, baseSim, baseTrace = wall, events, simT, tr
 			} else if events != baseEvents || simT != baseSim {
 				panic(fmt.Sprintf("pdes: %d nodes: shards=%d executed (%d items, %v) but shards=%d executed (%d items, %v)",
 					n, shardCounts[0], baseEvents, baseSim, s, events, simT))
+			} else if tr.hash != baseTrace.hash || tr.events != baseTrace.events {
+				panic(fmt.Sprintf("pdes: %d nodes: trace fingerprint diverged across shards (%d shards: hash %#x over %d events; %d shards: hash %#x over %d events)",
+					n, shardCounts[0], baseTrace.hash, baseTrace.events, s, tr.hash, tr.events))
 			}
 			rep.Points = append(rep.Points, PDESPoint{
 				Nodes:           n,
@@ -146,6 +174,9 @@ func PDESSweep(nodeCounts, shardCounts []int, ops int) *PDESReport {
 				SimMicros:       simT.Micros(),
 				SpeedupWall:     float64(baseWall) / float64(wall),
 				SpeedupCritPath: float64(events) / float64(crit),
+				TraceHash:       tr.hash,
+				TraceEvents:     tr.events,
+				TracePeak:       tr.peak,
 			})
 		}
 	}
@@ -168,6 +199,12 @@ func FormatPDES(rep *PDESReport) string {
 	for _, p := range rep.Points {
 		out += fmt.Sprintf("%6d %7d %10.1f %14.0f %10.0f %11.2fx %9.2fx\n",
 			p.Nodes, p.Shards, p.WallMS, p.EventsPerSec, p.SimMicros, p.SpeedupWall, p.SpeedupCritPath)
+	}
+	for _, p := range rep.Points {
+		if p.TraceEvents > 0 {
+			out += fmt.Sprintf("  trace %d×%d: %d events, hash %#016x, peak resident %d (window-bounded)\n",
+				p.Nodes, p.Shards, p.TraceEvents, p.TraceHash, p.TracePeak)
+		}
 	}
 	return out
 }

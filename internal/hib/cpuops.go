@@ -96,6 +96,12 @@ func (h *HIB) localSharedWrite(p *sim.Proc, lead sim.Time, offset uint64, v uint
 		return
 	}
 	h.mem.WriteWord(offset, v)
+	// Record the apply: a local store's effect is the store itself, but
+	// making it explicit in the stream lets the online history builder
+	// close every write on (return, effect) uniformly — without this, a
+	// local write is indistinguishable from a remote write whose apply
+	// is still in flight until the run ends.
+	h.Emit(trace.EvWriteApply, uint64(g), v, uint64(h.node))
 	h.fanoutMulticast(p, offset, v)
 	h.returnOp(trace.BOpWrite, seq, g, 0)
 }

@@ -5,19 +5,25 @@ import (
 	"telegraphos/internal/trace"
 )
 
-// FromTrace reconstructs an operation history from a merged event stream
-// (trace.ShardedLog.Merge order: ascending time, per-node order intact).
+// The history builder reconstructs operation intervals from a merged
+// event stream (canonical trace order: ascending time, per-node order
+// intact). It is written as an incremental consumer — feed one event at
+// a time — so the same pairing logic serves both the batch FromTrace
+// snapshot and the windowed Online checker; the two cannot drift apart.
 //
 // Boundary events pair by (node, sequence): EvOpInvoke opens an interval,
 // EvOpReturn closes it, EvOpArg attaches the compare&swap comparand.
 // Blocking operations — reads, atomics — are done at their return. A
-// remote write is not: the HIB releases the CPU at the latch (the
-// return event) while the store is still in flight, so its interval is
-// stretched to the matching effect event — the EvWriteApply at the home
-// node (plain region) or the EvUpdateSerialize at the page owner
-// (coherent region), matched by (address, value, origin) and consumed in
-// invocation order. A local write's return is its effect. A remote write
-// whose effect never appears in the stream stays Pending.
+// write is done when both its return and its effect have been seen: the
+// HIB releases the CPU at the latch (the return event) while the store
+// may still be in flight, so its interval is stretched to the matching
+// effect event — the EvWriteApply at the home node (plain region, local
+// stores included: the HIB records the local apply explicitly) or the
+// EvUpdateSerialize at the page owner (coherent region), matched by
+// (address, value, origin) and consumed in invocation order. A write
+// whose effect never appears in the stream resolves at the end of the
+// stream: at its return if it was local (the latch is the effect for a
+// write homed on the issuer), Pending otherwise.
 //
 // EvFenceStart/EvFenceEnd pairs become Fence ops (one at a time per
 // node — the CPU blocks inside MEMORY_BARRIER), with Arg recording the
@@ -25,136 +31,289 @@ import (
 //
 // BOpPageIn boundary events (DSM page transfers) are observability-only
 // and are not part of the object model; they are skipped.
-func FromTrace(events []trace.Event) *History {
-	type pairKey struct {
-		node int
-		seq  uint64
-	}
-	type effectKey struct {
-		addr   uint64 // full GAddr (apply) or bare offset (serialize)
-		val    uint64
-		origin int
-	}
-	type rec struct {
-		op       Op
-		retSeen  bool
-		effSeen  bool
-		retAt    int64
-		effAt    int64
-		needsEff bool // remote write: return alone does not complete it
-		coherent bool // matched by an EvUpdateSerialize
-	}
 
-	var recs []*rec
-	open := make(map[pairKey]*rec)
-	// FIFO queues of open writes awaiting their effect event.
-	applyQ := make(map[effectKey][]*rec)     // plain remote writes → EvWriteApply
-	serializeQ := make(map[effectKey][]*rec) // coherent writes → EvUpdateSerialize
-	fenceOpen := make(map[int]int)           // node → index into recs of open fence
+type pairKey struct {
+	node int
+	seq  uint64
+}
 
-	h := &History{}
-	pop := func(q map[effectKey][]*rec, k effectKey) *rec {
-		for len(q[k]) > 0 {
-			r := q[k][0]
+type effectKey struct {
+	addr   uint64 // full GAddr (apply) or bare offset (serialize)
+	val    uint64
+	origin int
+}
+
+// brec is one operation being assembled.
+type brec struct {
+	op       Op
+	invSeq   uint64 // per-proc invocation sequence (fences included)
+	retSeen  bool
+	effSeen  bool
+	done     bool
+	retAt    int64
+	effAt    int64
+	isWrite  bool
+	needsEff bool // remote write: return alone does not complete it
+	ak, sk   effectKey
+}
+
+// histBuilder incrementally pairs events into operations. The moment an
+// operation's response time is final it is emitted through the emit
+// callback (completion order); finish resolves everything still open at
+// the end of the stream — exactly the way the batch builder always
+// resolved leftovers — and emits those too (Pending where the effect
+// never arrived).
+type histBuilder struct {
+	open       map[pairKey]*brec
+	applyQ     map[effectKey][]*brec // open writes awaiting EvWriteApply
+	serializeQ map[effectKey][]*brec // open writes awaiting EvUpdateSerialize
+	fenceOpen  map[int]*brec
+	procSeq    map[int]uint64
+
+	// invoke, when set, fires as each operation opens — word ops and
+	// fences alike (the Op has Inv/Proc/Kind/Loc/Arg populated; Res not
+	// yet known).
+	invoke func(op Op, invSeq uint64)
+	// emit fires once per operation, when its Res/Pending is final.
+	emit func(op Op, invSeq uint64)
+
+	// keepAll retains every record in creation order (batch mode).
+	all     []*brec
+	keepAll bool
+
+	// live tracks not-yet-done records in creation order for finish;
+	// compacted as records complete so streaming memory stays O(open).
+	live  []*brec
+	nDone int
+}
+
+func newHistBuilder(keepAll bool) *histBuilder {
+	return &histBuilder{
+		open:       make(map[pairKey]*brec),
+		applyQ:     make(map[effectKey][]*brec),
+		serializeQ: make(map[effectKey][]*brec),
+		fenceOpen:  make(map[int]*brec),
+		procSeq:    make(map[int]uint64),
+		keepAll:    keepAll,
+	}
+}
+
+func (b *histBuilder) track(r *brec) {
+	if b.keepAll {
+		b.all = append(b.all, r)
+	}
+	b.live = append(b.live, r)
+}
+
+// complete finalizes r's Op and emits it.
+func (b *histBuilder) complete(r *brec) {
+	r.done = true
+	b.nDone++
+	if r.isWrite {
+		b.unqueue(b.applyQ, r.ak, r)
+		b.unqueue(b.serializeQ, r.sk, r)
+	}
+	if b.emit != nil {
+		b.emit(r.op, r.invSeq)
+	}
+	if !b.keepAll && b.nDone > len(b.live)/2 && len(b.live) > 16 {
+		kept := b.live[:0]
+		for _, lr := range b.live {
+			if !lr.done {
+				kept = append(kept, lr)
+			}
+		}
+		for i := len(kept); i < len(b.live); i++ {
+			b.live[i] = nil
+		}
+		b.live = kept
+		b.nDone = 0
+	}
+}
+
+// unqueue drops a completed write from an effect queue so queue length
+// tracks in-flight writes, not history length.
+func (b *histBuilder) unqueue(q map[effectKey][]*brec, k effectKey, r *brec) {
+	s := q[k]
+	for i, x := range s {
+		if x == r {
+			s = append(s[:i], s[i+1:]...)
+			break
+		}
+	}
+	if len(s) == 0 {
+		delete(q, k)
+	} else {
+		q[k] = s
+	}
+}
+
+// pop consumes the oldest open write awaiting effect k (skipping any
+// that already matched — a second effect with the same key belongs to
+// the next write in invocation order).
+func (b *histBuilder) pop(q map[effectKey][]*brec, k effectKey) *brec {
+	for len(q[k]) > 0 {
+		r := q[k][0]
+		if len(q[k]) == 1 {
+			delete(q, k)
+		} else {
 			q[k] = q[k][1:]
-			if !r.effSeen {
-				return r
-			}
 		}
-		return nil
-	}
-
-	for _, e := range events {
-		switch e.Kind {
-		case trace.EvOpInvoke:
-			bop, seq := trace.SplitBoundaryAux(e.Aux)
-			if bop == trace.BOpPageIn {
-				continue
-			}
-			g := addrspace.GAddr(e.Addr)
-			r := &rec{op: Op{
-				Proc: e.Node,
-				Kind: kindOfBoundary(bop),
-				Loc:  e.Addr,
-				Arg:  e.Val,
-				Inv:  e.At,
-			}}
-			if bop == trace.BOpWrite {
-				ek := effectKey{addr: e.Addr, val: e.Val, origin: e.Node}
-				applyQ[ek] = append(applyQ[ek], r)
-				sk := effectKey{addr: g.Offset(), val: e.Val, origin: e.Node}
-				serializeQ[sk] = append(serializeQ[sk], r)
-				// A write homed elsewhere is non-blocking: its return is the
-				// latch, not the effect.
-				r.needsEff = int(g.Node()) != e.Node
-			}
-			recs = append(recs, r)
-			open[pairKey{e.Node, seq}] = r
-
-		case trace.EvOpArg:
-			_, seq := trace.SplitBoundaryAux(e.Aux)
-			if r := open[pairKey{e.Node, seq}]; r != nil {
-				r.op.Arg2 = e.Val
-			}
-
-		case trace.EvOpReturn:
-			bop, seq := trace.SplitBoundaryAux(e.Aux)
-			if bop == trace.BOpPageIn {
-				continue
-			}
-			k := pairKey{e.Node, seq}
-			if r := open[k]; r != nil {
-				r.retSeen = true
-				r.retAt = e.At
-				r.op.Ret = e.Val
-				delete(open, k)
-			}
-
-		case trace.EvWriteApply:
-			if r := pop(applyQ, effectKey{addr: e.Addr, val: e.Val, origin: int(e.Aux)}); r != nil {
-				r.effSeen = true
-				r.effAt = e.At
-			}
-
-		case trace.EvUpdateSerialize:
-			if r := pop(serializeQ, effectKey{addr: e.Addr, val: e.Val, origin: int(e.Aux)}); r != nil {
-				r.effSeen = true
-				r.effAt = e.At
-				r.coherent = true
-			}
-
-		case trace.EvFenceStart:
-			recs = append(recs, &rec{op: Op{
-				Proc: e.Node,
-				Kind: Fence,
-				Inv:  e.At,
-			}})
-			fenceOpen[e.Node] = len(recs) - 1
-
-		case trace.EvFenceEnd:
-			if i, ok := fenceOpen[e.Node]; ok {
-				recs[i].retSeen = true
-				recs[i].retAt = e.At
-				recs[i].op.Arg = e.Val // outstanding count at completion
-				delete(fenceOpen, e.Node)
-			}
+		if !r.effSeen {
+			return r
 		}
 	}
+	return nil
+}
 
-	for _, r := range recs {
-		o := r.op
+// feed consumes one event of the merged stream.
+func (b *histBuilder) feed(e trace.Event) {
+	switch e.Kind {
+	case trace.EvOpInvoke:
+		bop, seq := trace.SplitBoundaryAux(e.Aux)
+		if bop == trace.BOpPageIn {
+			return
+		}
+		g := addrspace.GAddr(e.Addr)
+		b.procSeq[e.Node]++
+		r := &brec{op: Op{
+			Proc: e.Node,
+			Kind: kindOfBoundary(bop),
+			Loc:  e.Addr,
+			Arg:  e.Val,
+			Inv:  e.At,
+		}, invSeq: b.procSeq[e.Node]}
+		if bop == trace.BOpWrite {
+			r.isWrite = true
+			r.ak = effectKey{addr: e.Addr, val: e.Val, origin: e.Node}
+			b.applyQ[r.ak] = append(b.applyQ[r.ak], r)
+			r.sk = effectKey{addr: g.Offset(), val: e.Val, origin: e.Node}
+			b.serializeQ[r.sk] = append(b.serializeQ[r.sk], r)
+			// A write homed elsewhere is non-blocking: its return is the
+			// latch, not the effect.
+			r.needsEff = int(g.Node()) != e.Node
+		}
+		b.track(r)
+		b.open[pairKey{e.Node, seq}] = r
+		if b.invoke != nil {
+			b.invoke(r.op, r.invSeq)
+		}
+
+	case trace.EvOpArg:
+		_, seq := trace.SplitBoundaryAux(e.Aux)
+		if r := b.open[pairKey{e.Node, seq}]; r != nil {
+			r.op.Arg2 = e.Val
+		}
+
+	case trace.EvOpReturn:
+		bop, seq := trace.SplitBoundaryAux(e.Aux)
+		if bop == trace.BOpPageIn {
+			return
+		}
+		k := pairKey{e.Node, seq}
+		if r := b.open[k]; r != nil {
+			r.retSeen = true
+			r.retAt = e.At
+			r.op.Ret = e.Val
+			delete(b.open, k)
+			if !r.isWrite {
+				r.op.Res = r.retAt
+				b.complete(r)
+			} else if r.effSeen {
+				r.op.Res = r.effAt
+				if r.retAt > r.op.Res {
+					r.op.Res = r.retAt
+				}
+				b.complete(r)
+			}
+		}
+
+	case trace.EvWriteApply:
+		b.effect(b.applyQ, effectKey{addr: e.Addr, val: e.Val, origin: int(e.Aux)}, e.At)
+
+	case trace.EvUpdateSerialize:
+		b.effect(b.serializeQ, effectKey{addr: e.Addr, val: e.Val, origin: int(e.Aux)}, e.At)
+
+	case trace.EvFenceStart:
+		b.procSeq[e.Node]++
+		r := &brec{op: Op{
+			Proc: e.Node,
+			Kind: Fence,
+			Inv:  e.At,
+		}, invSeq: b.procSeq[e.Node]}
+		b.track(r)
+		b.fenceOpen[e.Node] = r
+		if b.invoke != nil {
+			b.invoke(r.op, r.invSeq)
+		}
+
+	case trace.EvFenceEnd:
+		if r := b.fenceOpen[e.Node]; r != nil {
+			r.retSeen = true
+			r.retAt = e.At
+			r.op.Arg = e.Val // outstanding count at completion
+			r.op.Res = e.At
+			delete(b.fenceOpen, e.Node)
+			b.complete(r)
+		}
+	}
+}
+
+// effect matches one apply/serialize event against the oldest awaiting
+// write.
+func (b *histBuilder) effect(q map[effectKey][]*brec, k effectKey, at int64) {
+	r := b.pop(q, k)
+	if r == nil {
+		return
+	}
+	r.effSeen = true
+	r.effAt = at
+	if r.retSeen {
+		r.op.Res = r.effAt
+		if r.retAt > r.op.Res {
+			r.op.Res = r.retAt
+		}
+		b.complete(r)
+	}
+}
+
+// finish resolves every record still open at the end of the stream and
+// emits it. The resolution mirrors what the batch builder always did:
+// an observed effect ends the interval even with no return; a returned
+// local write ends at its latch; anything else is Pending.
+func (b *histBuilder) finish() {
+	for _, r := range b.live {
+		if r == nil || r.done {
+			continue
+		}
 		switch {
 		case r.effSeen:
-			o.Res = r.effAt
-			if r.retSeen && r.retAt > o.Res {
-				o.Res = r.retAt
+			r.op.Res = r.effAt
+			if r.retSeen && r.retAt > r.op.Res {
+				r.op.Res = r.retAt
 			}
 		case r.retSeen && !r.needsEff:
-			o.Res = r.retAt
+			r.op.Res = r.retAt
 		default:
-			o.Pending = true
+			r.op.Pending = true
 		}
-		h.Ops = append(h.Ops, o)
+		b.complete(r)
+	}
+	b.live = nil
+}
+
+// FromTrace reconstructs a full operation history from a merged event
+// stream — the batch entry point, used by offline checks and as the
+// reference the online checker is differentially tested against.
+func FromTrace(events []trace.Event) *History {
+	b := newHistBuilder(true)
+	for _, e := range events {
+		b.feed(e)
+	}
+	b.finish()
+	h := &History{Ops: make([]Op, 0, len(b.all))}
+	for _, r := range b.all {
+		h.Ops = append(h.Ops, r.op)
 	}
 	return h
 }

@@ -59,6 +59,11 @@ type Config struct {
 	// SimBudget caps simulated time (default 100 ms; hitting it is a
 	// quiescence violation).
 	SimBudget sim.Time
+	// Compare additionally records the legacy batch trace and runs the
+	// batch checkers, appending a violation on any disagreement with the
+	// streaming pipeline — fingerprint, event count, linearizability or
+	// fence verdict (the differential oracle; costs O(events) memory).
+	Compare bool
 }
 
 // RunResult is one run's verdict.
@@ -107,10 +112,28 @@ func Run(t *Test, cfg Config) *RunResult {
 	pcfg.Shards = cfg.Shards
 	c := core.New(pcfg)
 
-	slog := trace.NewShardedLog(nNodes)
-	for i, n := range c.Nodes {
-		n.HIB.SetRecorder(slog.Recorder(i))
+	// Streaming trace pipeline: per-node rings drained at every safe
+	// watermark into the online checker; with Compare (or a debug tap)
+	// the legacy ShardedLog records alongside as the batch oracle.
+	w := trace.NewWindowedLog(nNodes, 0)
+	olz := linearize.NewOnline()
+	w.AddSink(olz)
+	var slog *trace.ShardedLog
+	if cfg.Compare || debugEvents != nil {
+		slog = trace.NewShardedLog(nNodes)
 	}
+	for i, n := range c.Nodes {
+		rec := w.Recorder(i)
+		if slog != nil {
+			stream, tee := rec, slog.Recorder(i)
+			rec = func(e trace.Event) { stream(e); tee(e) }
+		}
+		//tgvet:allow tracesink(rec is the windowed ring recorder, optionally teed into the legacy log for the batch oracle)
+		n.HIB.SetRecorder(rec)
+	}
+	c.Group.SetRoundHook(core.DefaultDrainEvery, func(safe sim.Time) {
+		w.Drain(int64(safe))
+	})
 
 	// Locations. Plain: one word on its own passive home each (distinct
 	// homes keep store paths independent — the relaxations the tests
@@ -184,6 +207,17 @@ func Run(t *Test, cfg Config) *RunResult {
 		}
 	}
 
+	// The online checker linearizes the plain words only (replicated
+	// pages have their own coherence checkers below); the fence contract
+	// is always checked, over every operation.
+	locs := make(map[uint64]bool, t.NLocs)
+	if t.Region == Plain {
+		for l := 0; l < t.NLocs; l++ {
+			locs[uint64(addrspace.NewGAddr(addrspace.NodeID(locHome[l]), c.SharedOffset(locVA[l])))] = true
+		}
+	}
+	olz.RestrictLocs(locs)
+
 	// Thread programs. Each writes only its own registers; results are
 	// read after the engines join.
 	out := make([]uint64, t.NOut)
@@ -233,12 +267,17 @@ func Run(t *Test, cfg Config) *RunResult {
 	}
 	res := &RunResult{}
 	err := c.RunUntil(budget)
-	merged := slog.Merge()
-	if debugEvents != nil {
-		debugEvents(merged.Events())
+	w.DrainAll()
+	olz.Finish()
+	var merged *trace.EventLog
+	if slog != nil {
+		merged = slog.Merge()
+		if debugEvents != nil {
+			debugEvents(merged.Events())
+		}
 	}
-	res.TraceHash = merged.Hash()
-	res.Events = merged.Len()
+	res.TraceHash = w.Hash()
+	res.Events = int(w.Merged())
 
 	switch {
 	case err != nil:
@@ -268,22 +307,19 @@ func Run(t *Test, cfg Config) *RunResult {
 	res.Forbidden = t.Forbidden != nil && t.Forbidden(res.Outcome)
 	res.Witnessed = t.Witness != nil && t.Witness(res.Outcome)
 
-	// Conformance: the trace-reconstructed history must linearize on
-	// every plain word and satisfy the fence contract under every
-	// protocol; a forbidden outcome is a violation for the Telegraphos
+	// Conformance: the history reconstructed from the stream must
+	// linearize on every plain word and satisfy the fence contract under
+	// every protocol — both decided online, window by window, while the
+	// run drained; a forbidden outcome is a violation for the Telegraphos
 	// protocols (for Galactica it is the documented anomaly).
-	hist := linearize.FromTrace(merged.Events())
-	if t.Region == Plain {
-		locs := make(map[uint64]bool, t.NLocs)
-		for l := 0; l < t.NLocs; l++ {
-			locs[uint64(addrspace.NewGAddr(addrspace.NodeID(locHome[l]), c.SharedOffset(locVA[l])))] = true
-		}
-		if lerr := linearize.CheckLocs(hist, locs); lerr != nil {
-			res.Violations = append(res.Violations, lerr.Error())
-		}
+	for _, v := range olz.Violations() {
+		res.Violations = append(res.Violations, v.Error())
 	}
-	if ferr := linearize.CheckFences(hist); ferr != nil {
-		res.Violations = append(res.Violations, ferr.Error())
+	for _, v := range olz.FenceViolations() {
+		res.Violations = append(res.Violations, v.Error())
+	}
+	if cfg.Compare {
+		res.Violations = append(res.Violations, compareBatch(w, olz, merged, locs)...)
 	}
 	if t.Region == Coherent && upd != nil {
 		res.Violations = append(res.Violations, checkCoherentPage(t, c, upd, locVA, homeNode)...)
@@ -293,6 +329,33 @@ func Run(t *Test, cfg Config) *RunResult {
 			fmt.Sprintf("forbidden outcome under %v: %v", cfg.Protocol, res.Outcome))
 	}
 	return res
+}
+
+// compareBatch is the Config.Compare oracle: the retained legacy trace,
+// pushed through the batch pipeline (merge → FromTrace → CheckLocs →
+// CheckFences), must agree with the streaming pipeline on fingerprint,
+// event count, and both verdicts.
+func compareBatch(w *trace.WindowedLog, olz *linearize.Online, merged *trace.EventLog, locs map[uint64]bool) []string {
+	var out []string
+	if merged.Hash() != w.Hash() || merged.Len() != int(w.Merged()) {
+		out = append(out, fmt.Sprintf(
+			"stream-equivalence: streaming merge (hash %#x, %d events) != batch merge (hash %#x, %d events)",
+			w.Hash(), w.Merged(), merged.Hash(), merged.Len()))
+	}
+	hist := linearize.FromTrace(merged.Events())
+	batchLin := linearize.CheckLocs(hist, locs)
+	if (batchLin == nil) != (len(olz.Violations()) == 0) {
+		out = append(out, fmt.Sprintf(
+			"stream-equivalence: online linearizability verdict (%d violations) disagrees with batch (%v)",
+			len(olz.Violations()), batchLin))
+	}
+	batchFence := linearize.CheckFences(hist)
+	if (batchFence == nil) != (len(olz.FenceViolations()) == 0) {
+		out = append(out, fmt.Sprintf(
+			"stream-equivalence: online fence verdict (%d violations) disagrees with batch (%v)",
+			len(olz.FenceViolations()), batchFence))
+	}
+	return out
 }
 
 // checkCoherentPage validates the update protocol's page after
@@ -310,13 +373,22 @@ func checkCoherentPage(t *Test, c *core.Cluster, upd *coherence.Update,
 					"coherence-convergence: loc %d replica on node %d holds %#x, owner holds %#x", l, i, v, ownerV))
 			}
 		}
-		histories := make(map[string][]uint64, len(c.Nodes))
-		for i := range c.Nodes {
-			if vals := upd.Mgr(i).AppliedValues(off); len(vals) > 0 {
-				histories[fmt.Sprintf("node%d", i)] = vals
+		// Stream the per-node applied-value histories through the online
+		// constraint-graph checker, round-robin, as the applies landed.
+		oc := consistency.NewOnline()
+		for depth := 0; ; depth++ {
+			progressed := false
+			for i := range c.Nodes {
+				if vals := upd.Mgr(i).AppliedValues(off); depth < len(vals) {
+					oc.Observe(fmt.Sprintf("node%d", i), vals[depth])
+					progressed = true
+				}
+			}
+			if !progressed {
+				break
 			}
 		}
-		if err := consistency.CheckCoherent(histories); err != nil {
+		if err := oc.Err(); err != nil {
 			out = append(out, fmt.Sprintf("coherence-order: loc %d: %v", l, err))
 		}
 	}

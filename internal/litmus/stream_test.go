@@ -1,0 +1,50 @@
+package litmus
+
+import (
+	"strings"
+	"testing"
+
+	"telegraphos/internal/link"
+	"telegraphos/internal/sim"
+)
+
+// TestOnlineMatchesBatchCorpus sweeps the whole litmus corpus with the
+// differential oracle on: every run records the legacy batch trace
+// alongside the streaming pipeline and cross-checks fingerprint, event
+// count, and the linearizability and fence verdicts. Any disagreement
+// surfaces as a stream-equivalence violation. Timing variants and a
+// faulty-link schedule widen the histories the equivalence is proved
+// over (drops create pending writes, duplicates stress the effect
+// matching).
+func TestOnlineMatchesBatchCorpus(t *testing.T) {
+	plans := []*link.FaultPlan{
+		nil,
+		{DropProb: 0.05, DupProb: 0.05, ReorderProb: 0.10, JitterMax: 1200 * sim.Nanosecond},
+	}
+	for _, lt := range Tests() {
+		for _, proto := range []Protocol{Update, Invalidate, Galactica} {
+			if proto == Invalidate && lt.Region != Coherent {
+				continue
+			}
+			for _, variant := range []int{0, 2} {
+				for pi, plan := range plans {
+					var p *link.FaultPlan
+					if plan != nil {
+						cp := *plan
+						cp.Seed = int64(variant + 1)
+						p = &cp
+					}
+					rr := Run(lt, Config{
+						Protocol: proto, Shards: 1, Seed: 11, Variant: variant,
+						Faults: p, Compare: true,
+					})
+					for _, v := range rr.Violations {
+						if strings.HasPrefix(v, "stream-equivalence") {
+							t.Errorf("%s/%v variant=%d plan=%d: %s", lt.Name, proto, variant, pi, v)
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -114,6 +114,15 @@ type Engine struct {
 	// Group.flush). nil for standalone engines.
 	stage [][]xmsg
 
+	// roundHook, when set, fires between work items every hookEvery
+	// executed items with the current safe watermark (see SetRoundHook).
+	// Only single-shard execution installs it: in a multi-shard group the
+	// watermark is a group-wide bound and the hook runs at the barrier
+	// instead (Group.SetRoundHook).
+	roundHook func(safe Time)
+	hookEvery uint64
+	hookCount uint64
+
 	group *Group
 	shard int
 }
@@ -280,7 +289,31 @@ func (e *Engine) runWindow(horizon, deadline Time) {
 			e.pool.put(ent.slot)
 			fn()
 		}
+		if e.roundHook != nil {
+			if e.hookCount++; e.hookCount >= e.hookEvery {
+				e.hookCount = 0
+				e.roundHook(e.now)
+			}
+		}
 	}
+}
+
+// SetRoundHook installs a periodic watermark hook for single-shard
+// execution: fn fires between work items, every `every` executed items,
+// with safe = the engine's current time. Every event with timestamp
+// strictly before safe is final — simulated time is monotone, so no
+// later work can record into that past. The trace pipeline drains its
+// windows from here. The count-based cadence is deterministic: the same
+// run fires the hook at the same points regardless of host scheduling.
+// Pass fn == nil to remove the hook (the hot loop then pays one nil
+// check per item).
+func (e *Engine) SetRoundHook(every uint64, fn func(safe Time)) {
+	if every == 0 {
+		every = 1
+	}
+	e.roundHook = fn
+	e.hookEvery = every
+	e.hookCount = 0
 }
 
 // Run executes events until the queue drains, Stop is called, or a process

@@ -75,6 +75,11 @@ type Group struct {
 	// get from this decomposition — a hardware-independent measure of the
 	// parallelism the shard layout exposes.
 	critPath uint64
+
+	// roundHook, when set, fires at every barrier boundary — after the
+	// flush, with no shard executing — with safe = the round's global
+	// lower bound on remaining work (see SetRoundHook).
+	roundHook func(safe Time)
 }
 
 // infTime is an effectively infinite timestamp (far beyond any workload,
@@ -114,6 +119,25 @@ func NewGroup(seed int64, shards int) *Group {
 // hand-off (the default, false) and legacy per-message heap pushes.
 // Both produce identical execution order; see the Group doc.
 func (g *Group) SetPerMessageDelivery(on bool) { g.perMessage = on }
+
+// SetRoundHook installs a safe-watermark hook: fn fires with a bound
+// safe such that every already-recorded event with timestamp < safe is
+// final (no shard will ever execute work, and therefore record trace
+// events, strictly before safe again). In a multi-shard group the hook
+// fires at each barrier boundary with the round's global next-work
+// bound; in a single-shard group it fires between work items every
+// `every` executed items with the engine's current time. Either way the
+// hook runs with no shard executing, so it may drain trace windows,
+// run online checkers, or checkpoint. The cadence is a deterministic
+// function of the run, never of host scheduling. Pass fn == nil to
+// remove the hook.
+func (g *Group) SetRoundHook(every uint64, fn func(safe Time)) {
+	if len(g.engines) == 1 {
+		g.engines[0].SetRoundHook(every, fn)
+		return
+	}
+	g.roundHook = fn
+}
 
 // Shards reports the number of engines in the group.
 func (g *Group) Shards() int { return len(g.engines) }
@@ -224,6 +248,14 @@ func (g *Group) RunUntil(deadline Time) error {
 		}
 		if !haveWork || (deadline >= 0 && globalNext > deadline) {
 			break
+		}
+		if g.roundHook != nil {
+			// Barrier boundary: staged messages are flushed, no shard is
+			// executing, and every shard's next work is >= globalNext —
+			// so every recorded event with timestamp < globalNext is
+			// final. This is where the trace pipeline drains windows and
+			// takes checkpoints.
+			g.roundHook(globalNext)
 		}
 		// Per-shard safe horizon from incoming channel lookahead.
 		runnable := g.runnable[:0]

@@ -14,13 +14,88 @@ func checkOne(vs *[]Violation, inv, format string, args ...any) {
 	*vs = append(*vs, Violation{Invariant: inv, Detail: fmt.Sprintf(format, args...)})
 }
 
-// checkInvariants walks the final cluster state and the recorded event
-// stream after a quiesced run and returns every violated property.
+// streamAcc is the invariant accumulator: a trace.Sink on the merged
+// stream that folds the event-derived facts the checkers need — last
+// serialized value per coherent word, apply/serialize times per issued
+// value, plain-region apply counts — as events stream past, instead of
+// rescanning a retained log after the run. Everything it stores is
+// bounded by the scenario's issue tallies (values drawn at build time),
+// not by the event count.
+type streamAcc struct {
+	h *harness
+
+	lastSerial   map[uint64]uint64  // coherent offset → last serialized value
+	serialAt     map[uint64]int64   // issued coherent value → first serialize time
+	applyAt      map[uint64][]int64 // issued plain/multicast value → remote-apply times
+	plainApplied map[uint64]int     // value → applies at the plain region
+	plainLast    map[int]uint64     // plain word → last applied value
+	plainAddr    map[uint64]int     // plain global address → word index
+	vios         []Violation        // provenance violations observed in-stream
+}
+
+func newStreamAcc(h *harness) *streamAcc {
+	a := &streamAcc{
+		h:            h,
+		lastSerial:   make(map[uint64]uint64),
+		serialAt:     make(map[uint64]int64),
+		applyAt:      make(map[uint64][]int64),
+		plainApplied: make(map[uint64]int),
+		plainLast:    make(map[int]uint64),
+		plainAddr:    make(map[uint64]int, h.sc.PlainWords),
+	}
+	plainOff := h.c.SharedOffset(h.plainVA.va)
+	home := addrspace.NodeID(h.plainVA.home)
+	for w := 0; w < h.sc.PlainWords; w++ {
+		a.plainAddr[uint64(addrspace.NewGAddr(home, plainOff+8*uint64(w)))] = w
+	}
+	return a
+}
+
+// Append consumes one merged-stream event (trace.Sink).
+func (a *streamAcc) Append(e trace.Event) {
+	switch e.Kind {
+	case trace.EvUpdateSerialize:
+		a.lastSerial[e.Addr] = e.Val
+		if _, issued := a.h.cohVals[e.Val]; issued {
+			if _, seen := a.serialAt[e.Val]; !seen {
+				a.serialAt[e.Val] = e.At
+			}
+		}
+	case trace.EvWriteApply:
+		// The issuer's own local apply (origin == the address's home)
+		// closes the write's interval for the history builder but is not
+		// a delivery; the delivery tallies count remote applies only.
+		if addrspace.GAddr(e.Addr).Node() == addrspace.NodeID(e.Aux) {
+			return
+		}
+		_, mc := a.h.mcVals[e.Val]
+		_, pl := a.h.plainVals[e.Val]
+		if mc || pl {
+			a.applyAt[e.Val] = append(a.applyAt[e.Val], e.At)
+		}
+		if w, ok := a.plainAddr[e.Addr]; ok {
+			a.plainApplied[e.Val]++
+			a.plainLast[w] = e.Val
+			if !pl {
+				a.vios = append(a.vios, Violation{
+					Invariant: "value-provenance",
+					Detail:    fmt.Sprintf("plain word %d received %#x, which no program wrote", w, e.Val),
+				})
+			}
+		}
+	}
+}
+
+// checkInvariants walks the final cluster state and the facts
+// accumulated from the stream after a quiesced run and returns every
+// violated property.
 func (h *harness) checkInvariants() []Violation {
 	var vs []Violation
 	for _, ns := range h.perNode {
 		vs = append(vs, ns.violations...)
 	}
+	vs = append(vs, h.acc.vios...)
+	vs = append(vs, h.extraVios...)
 	h.checkDrain(&vs)
 	h.checkCoherence(&vs)
 	h.checkMulticast(&vs)
@@ -36,28 +111,43 @@ func (h *harness) checkInvariants() []Violation {
 // events, restricted to the single-copy words (the plain region and the
 // two atomic words), must be linearizable against the single-word object
 // model; and independently, the whole history must satisfy the §2.3.5
-// fence contract (zero outstanding count at completion, no pre-fence
-// write effect after the fence, no post-fence op before a pre-fence
-// write's effect). This subsumes the aggregate counts above with a full
-// interval-order argument, so protocol bugs that conspire to keep the
-// totals right are still caught.
+// fence contract. Both were decided online, window by window, while the
+// stream drained (linearize.Online); here the verdicts are collected.
+// This subsumes the aggregate counts above with a full interval-order
+// argument, so protocol bugs that conspire to keep the totals right are
+// still caught.
 func (h *harness) checkLinearizable(vs *[]Violation) {
-	hist := linearize.FromTrace(h.log.Events())
-	locs := make(map[uint64]bool, h.sc.PlainWords+2)
-	plainOff := h.c.SharedOffset(h.plainVA.va)
-	plainHome := addrspace.NodeID(h.plainVA.home)
-	for w := 0; w < h.sc.PlainWords; w++ {
-		locs[uint64(addrspace.NewGAddr(plainHome, plainOff+8*uint64(w)))] = true
+	for _, v := range h.olz.Violations() {
+		checkOne(vs, "linearizability", "%v", v)
 	}
-	atomOff := h.c.SharedOffset(h.atomVA.va)
-	atomHome := addrspace.NodeID(h.atomVA.home)
-	locs[uint64(addrspace.NewGAddr(atomHome, atomOff))] = true
-	locs[uint64(addrspace.NewGAddr(atomHome, atomOff+8))] = true
-	if err := linearize.CheckLocs(hist, locs); err != nil {
-		checkOne(vs, "linearizability", "%v", err)
+	for _, v := range h.olz.FenceViolations() {
+		checkOne(vs, "fence-order", "%v", v)
 	}
-	if err := linearize.CheckFences(hist); err != nil {
-		checkOne(vs, "fence-order", "%v", err)
+}
+
+// checkAgainstBatch is the differential oracle (Options.BatchTee): the
+// legacy batch pipeline — ShardedLog merge, FromTrace, CheckLocs,
+// CheckFences over the retained trace — must agree with the streaming
+// pipeline on the fingerprint, the event count, and both verdicts.
+func (h *harness) checkAgainstBatch(vs *[]Violation) {
+	legacy := h.slog.Merge()
+	if legacy.Hash() != h.w.Hash() || legacy.Len() != int(h.w.Merged()) {
+		checkOne(vs, "stream-equivalence",
+			"streaming merge (hash %#x, %d events) != legacy batch merge (hash %#x, %d events)",
+			h.w.Hash(), h.w.Merged(), legacy.Hash(), legacy.Len())
+	}
+	hist := linearize.FromTrace(legacy.Events())
+	batchLin := linearize.CheckLocs(hist, h.locs)
+	if (batchLin == nil) != (len(h.olz.Violations()) == 0) {
+		checkOne(vs, "stream-equivalence",
+			"online linearizability verdict (%d violations) disagrees with batch (%v)",
+			len(h.olz.Violations()), batchLin)
+	}
+	batchFence := linearize.CheckFences(hist)
+	if (batchFence == nil) != (len(h.olz.FenceViolations()) == 0) {
+		checkOne(vs, "stream-equivalence",
+			"online fence verdict (%d violations) disagrees with batch (%v)",
+			len(h.olz.FenceViolations()), batchFence)
 	}
 }
 
@@ -86,12 +176,6 @@ func (h *harness) checkDrain(vs *[]Violation) {
 // the per-node applied-value histories must embed in one total order.
 func (h *harness) checkCoherence(vs *[]Violation) {
 	cohOff := h.c.SharedOffset(h.cohVA.va)
-	lastSerial := make(map[uint64]uint64) // offset → last serialized value
-	for _, e := range h.log.Events() {
-		if e.Kind == trace.EvUpdateSerialize {
-			lastSerial[e.Addr] = e.Val
-		}
-	}
 	for w := 0; w < h.sc.CohWords; w++ {
 		off := cohOff + 8*uint64(w)
 		ownerV := h.c.Nodes[h.sc.Owner].Mem.ReadWord(off)
@@ -102,16 +186,29 @@ func (h *harness) checkCoherence(vs *[]Violation) {
 					w, n, v, h.sc.Owner, ownerV)
 			}
 		}
-		if want, ok := lastSerial[off]; ok && ownerV != want {
+		if want, ok := h.acc.lastSerial[off]; ok && ownerV != want {
 			checkOne(vs, "coherence-convergence",
 				"word %d: owner holds %#x but the last serialized write was %#x", w, ownerV, want)
 		}
 
-		histories := make(map[string][]uint64, len(h.sc.Copies))
-		for _, n := range h.sc.Copies {
-			histories[fmt.Sprintf("node%d", n)] = h.u.Mgr(n).AppliedValues(off)
+		// Incremental coherence: stream each replica's applied-value
+		// history through the online constraint-graph checker
+		// (verdict-equivalent to the batch CheckCoherent; the round-robin
+		// interleaving mirrors how applies actually land).
+		oc := consistency.NewOnline()
+		for i := 0; ; i++ {
+			progressed := false
+			for _, n := range h.sc.Copies {
+				if hist := h.u.Mgr(n).AppliedValues(off); i < len(hist) {
+					oc.Observe(fmt.Sprintf("node%d", n), hist[i])
+					progressed = true
+				}
+			}
+			if !progressed {
+				break
+			}
 		}
-		if err := consistency.CheckCoherent(histories); err != nil {
+		if err := oc.Err(); err != nil {
 			checkOne(vs, "coherence-order", "word %d: %v", w, err)
 		}
 	}
@@ -138,16 +235,8 @@ func (h *harness) checkMulticast(vs *[]Violation) {
 			}
 		}
 	}
-	applies := make(map[uint64]int)
-	for _, e := range h.log.Events() {
-		if e.Kind == trace.EvWriteApply {
-			if _, ok := h.mcVals[e.Val]; ok {
-				applies[e.Val]++
-			}
-		}
-	}
 	for v := range h.mcVals {
-		if got := applies[v]; got != nDests {
+		if got := len(h.acc.applyAt[v]); got != nDests {
 			checkOne(vs, "exactly-once",
 				"multicast value %#x applied %d times, want exactly %d (one per replica)", v, got, nDests)
 		}
@@ -177,39 +266,20 @@ func (h *harness) checkCopies(vs *[]Violation) {
 
 // checkPlain: on the unreplicated region every issued write must have
 // applied exactly once at the home node (no loss, no duplication), every
-// applied value must be a value some program issued, and the final word
-// must be the value of the last apply event for that word.
+// applied value must be a value some program issued (flagged in-stream
+// by the accumulator), and the final word must be the value of the last
+// apply event for that word.
 func (h *harness) checkPlain(vs *[]Violation) {
 	plainOff := h.c.SharedOffset(h.plainVA.va)
-	home := addrspace.NodeID(h.plainVA.home)
-	addrOf := make(map[uint64]int, h.sc.PlainWords) // global addr → word
-	for w := 0; w < h.sc.PlainWords; w++ {
-		addrOf[uint64(addrspace.NewGAddr(home, plainOff+8*uint64(w)))] = w
-	}
-	applied := make(map[uint64]int) // value → apply count
-	lastVal := make(map[int]uint64) // word → last applied value
-	for _, e := range h.log.Events() {
-		if e.Kind != trace.EvWriteApply {
-			continue
-		}
-		w, ok := addrOf[e.Addr]
-		if !ok {
-			continue
-		}
-		applied[e.Val]++
-		lastVal[w] = e.Val
-		if _, issued := h.plainVals[e.Val]; !issued {
-			checkOne(vs, "value-provenance", "plain word %d received %#x, which no program wrote", w, e.Val)
-		}
-	}
+	home := h.plainVA.home
 	for v, w := range h.plainVals {
-		if n := applied[v]; n != 1 {
+		if n := h.acc.plainApplied[v]; n != 1 {
 			checkOne(vs, "exactly-once", "plain value %#x (word %d) applied %d times, want exactly 1", v, w, n)
 		}
 	}
 	for w := 0; w < h.sc.PlainWords; w++ {
 		got := h.c.Nodes[home].Mem.ReadWord(plainOff + 8*uint64(w))
-		if want := lastVal[w]; got != want {
+		if want := h.acc.plainLast[w]; got != want {
 			checkOne(vs, "final-write-wins", "plain word %d holds %#x, last applied write was %#x", w, got, want)
 		}
 	}
@@ -239,34 +309,22 @@ func (h *harness) checkAtomics(vs *[]Violation) {
 // FENCE completed — applied at the home node (plain), serialized at the
 // owner (coherent), or applied at every replica (multicast).
 func (h *harness) checkFences(vs *[]Violation) {
-	applyAt := make(map[uint64][]int64) // value → EvWriteApply times
-	serialAt := make(map[uint64]int64)  // value → EvUpdateSerialize time
-	for _, e := range h.log.Events() {
-		switch e.Kind {
-		case trace.EvWriteApply:
-			applyAt[e.Val] = append(applyAt[e.Val], e.At)
-		case trace.EvUpdateSerialize:
-			if _, ok := serialAt[e.Val]; !ok {
-				serialAt[e.Val] = e.At
-			}
-		}
-	}
 	nDests := int64(h.sc.Nodes - 1)
 	for i, ns := range h.perNode {
 		for _, f := range ns.fences {
 			for _, wr := range f.writes {
 				switch wr.region {
 				case regPlain:
-					if !anyAtOrBefore(applyAt[wr.val], f.end) {
+					if !anyAtOrBefore(h.acc.applyAt[wr.val], f.end) {
 						checkOne(vs, "fence", "node %d fence at %dns: plain write %#x not yet applied", i, f.end, wr.val)
 					}
 				case regCoh:
-					if at, ok := serialAt[wr.val]; !ok || at > f.end {
+					if at, ok := h.acc.serialAt[wr.val]; !ok || at > f.end {
 						checkOne(vs, "fence", "node %d fence at %dns: coherent write %#x not yet serialized", i, f.end, wr.val)
 					}
 				case regMcast:
 					n := int64(0)
-					for _, at := range applyAt[wr.val] {
+					for _, at := range h.acc.applyAt[wr.val] {
 						if at <= f.end {
 							n++
 						}
@@ -290,3 +348,5 @@ func anyAtOrBefore(times []int64, deadline int64) bool {
 	}
 	return false
 }
+
+var _ trace.Sink = (*streamAcc)(nil)

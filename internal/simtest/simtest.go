@@ -29,11 +29,13 @@
 package simtest
 
 import (
+	"bytes"
 	"fmt"
 
 	"telegraphos/internal/addrspace"
 	"telegraphos/internal/coherence"
 	"telegraphos/internal/core"
+	"telegraphos/internal/linearize"
 	"telegraphos/internal/link"
 	"telegraphos/internal/params"
 	"telegraphos/internal/sim"
@@ -59,6 +61,25 @@ type Options struct {
 	// SimBudget caps simulated time (default 10 s — far beyond any
 	// healthy scenario; hitting it is itself an invariant violation).
 	SimBudget sim.Time
+	// TraceWindow sets the per-node trace ring capacity (0 = default).
+	// Hashes and verdicts are invariant to it; only peak memory moves.
+	TraceWindow int
+	// OpsPerNode overrides the scenario's drawn program length when > 0
+	// (long bounded-memory runs without touching the seed mapping).
+	OpsPerNode int
+	// Checkpoint exercises the checkpoint/restore path mid-run: at the
+	// first drain with merged output the trace state is encoded, decoded,
+	// and swapped in for the original, and the run continues on the
+	// restored log. Hashes and verdicts must be unchanged.
+	Checkpoint bool
+	// SpillPath, when non-empty, pages the canonical merged stream to this
+	// TGE1 file as the windows drain (offline replay via `tgtrace events`).
+	SpillPath string
+	// BatchTee additionally records into the legacy ShardedLog and runs
+	// the batch checkers at the end, comparing the streaming pipeline's
+	// hash, event count, and verdicts against them (the differential
+	// oracle; costs O(events) memory, so off by default).
+	BatchTee bool
 }
 
 // Scenario is the full derived description of one chaos run.
@@ -163,6 +184,15 @@ type Result struct {
 	SimTime    sim.Time
 	FaultStats link.FaultStats
 	Violations []Violation
+	// PeakResident is the largest number of undrained events buffered in
+	// the trace rings at any drain boundary — the bounded-memory figure.
+	PeakResident int
+	// PeakWindow is the online checker's largest undecided per-location
+	// window.
+	PeakWindow int
+	// Checkpointed reports whether the checkpoint/restore exercise ran
+	// (Options.Checkpoint requested it and a drain boundary arrived).
+	Checkpointed bool
 }
 
 // Failed reports whether any invariant was violated.
@@ -178,6 +208,9 @@ func Reproducer(seed int64) string {
 // (a process panic); semantic failures land in Result.Violations.
 func Run(seed int64, opts Options) (*Result, error) {
 	sc := ScenarioFor(seed, opts)
+	if opts.OpsPerNode > 0 {
+		sc.OpsPerNode = opts.OpsPerNode
+	}
 	h := build(sc, opts)
 	res := &Result{Scenario: sc}
 
@@ -186,7 +219,20 @@ func Run(seed int64, opts Options) (*Result, error) {
 		budget = 10 * sim.Second
 	}
 	err := h.c.RunUntil(budget)
-	h.log = h.slog.Merge()
+	// Flush the windows and settle the online checkers: everything the
+	// invariants need has been accumulated while the stream drained.
+	h.w.DrainAll()
+	h.olz.Finish()
+	if h.sp != nil {
+		if cerr := h.sp.Close(); cerr != nil {
+			h.extraVios = append(h.extraVios, Violation{
+				Invariant: "spill", Detail: fmt.Sprintf("close: %v", cerr)})
+		}
+	}
+	if serr := h.w.SpillErr(); serr != nil {
+		h.extraVios = append(h.extraVios, Violation{
+			Invariant: "spill", Detail: serr.Error()})
+	}
 	switch {
 	case err != nil:
 		res.Violations = append(res.Violations, Violation{
@@ -203,16 +249,22 @@ func Run(seed int64, opts Options) (*Result, error) {
 		// Only a quiesced run has meaningful final state to check.
 		res.Violations = append(res.Violations, h.checkInvariants()...)
 	}
+	if opts.BatchTee {
+		h.checkAgainstBatch(&res.Violations)
+	}
 
-	res.TraceHash = h.log.Hash()
-	res.Events = h.log.Len()
+	res.TraceHash = h.w.Hash()
+	res.Events = int(h.w.Merged())
 	// RunUntil parks the clock at the deadline once drained; the last
 	// event's timestamp is the scenario's real extent.
 	res.SimTime = h.c.Group.Now()
-	if evs := h.log.Events(); len(evs) > 0 && err == nil {
-		res.SimTime = sim.Time(evs[len(evs)-1].At)
+	if h.w.Merged() > 0 && err == nil {
+		res.SimTime = sim.Time(h.w.LastAt())
 	}
 	res.FaultStats = h.c.Net.FaultStats()
+	res.PeakResident = h.w.MaxResident()
+	res.PeakWindow = h.olz.Stats().PeakWindow
+	res.Checkpointed = h.checkpointed
 	return res, nil
 }
 
@@ -222,8 +274,15 @@ type harness struct {
 	opts Options
 	c    *core.Cluster
 	u    *coherence.Update
-	slog *trace.ShardedLog // per-node buffers, filled while running
-	log  *trace.EventLog   // canonical merge, built after quiescence
+	w    *trace.WindowedLog // streaming pipeline: rings → merge → sinks
+	acc  *streamAcc         // invariant accumulator (a trace.Sink)
+	olz  *linearize.Online  // windowed linearizability + fence checker
+	locs map[uint64]bool    // single-copy words the checker is limited to
+	slog *trace.ShardedLog  // legacy tee, only under Options.BatchTee
+	sp   *trace.SpillWriter // TGE1 spill, only under Options.SpillPath
+
+	checkpointed bool
+	extraVios    []Violation // harness-level failures (checkpoint I/O)
 
 	// Region layout (virtual base addresses + home nodes).
 	cohVA   viewVA   // replicated page under the update protocol
@@ -249,4 +308,86 @@ type harness struct {
 type viewVA struct {
 	va   addrspace.VAddr
 	home int
+}
+
+// drainEvery is the single-shard drain cadence (executed work items
+// between drains); multi-shard groups drain at every barrier round.
+// Hashes and verdicts are cadence-invariant; this only bounds how much
+// a ring buffers between drains.
+const drainEvery = 1024
+
+// attachStream wires the streaming trace pipeline into the built
+// cluster: per-node ring recorders, the invariant accumulator and the
+// online checker as sinks on the merged stream, and a round hook that
+// drains at every safe watermark. Called once at the end of build.
+func (h *harness) attachStream() {
+	h.w = trace.NewWindowedLog(h.sc.Nodes, h.opts.TraceWindow)
+	h.acc = newStreamAcc(h)
+	h.olz = linearize.NewOnline()
+	h.olz.RestrictLocs(h.locs)
+	h.w.AddSink(h.acc)
+	h.w.AddSink(h.olz)
+	if h.opts.SpillPath != "" {
+		sp, err := trace.NewFileSpill(h.opts.SpillPath)
+		if err != nil {
+			h.extraVios = append(h.extraVios, Violation{
+				Invariant: "spill", Detail: fmt.Sprintf("create: %v", err)})
+		} else {
+			h.sp = sp
+			h.w.SetSpill(sp)
+		}
+	}
+	if h.opts.BatchTee {
+		h.slog = trace.NewShardedLog(h.sc.Nodes)
+	}
+	h.installRecorders()
+	h.c.Group.SetRoundHook(drainEvery, func(safe sim.Time) {
+		h.w.Drain(int64(safe))
+		if h.opts.Checkpoint && !h.checkpointed && h.w.Merged() > 0 {
+			h.exerciseCheckpoint()
+		}
+	})
+}
+
+// installRecorders (re)points every HIB at the current windowed log —
+// called again after a checkpoint restore swaps the log out.
+func (h *harness) installRecorders() {
+	for i, n := range h.c.Nodes {
+		rec := h.w.Recorder(i)
+		if h.slog != nil {
+			stream, tee := rec, h.slog.Recorder(i)
+			rec = func(e trace.Event) { stream(e); tee(e) }
+		}
+		//tgvet:allow tracesink(rec is the windowed ring recorder, optionally teed into the legacy log under Options.BatchTee)
+		n.HIB.SetRecorder(rec)
+	}
+}
+
+// exerciseCheckpoint round-trips the trace state through the TGC1
+// encoding mid-run and swaps the restored log in for the original: the
+// rest of the run — and the final hash, and every verdict — must be
+// indistinguishable from an uninterrupted one. Runs inside the round
+// hook, so no shard is executing and the watermark contract holds.
+func (h *harness) exerciseCheckpoint() {
+	h.checkpointed = true
+	var buf bytes.Buffer
+	if err := h.w.Checkpoint().Encode(&buf); err != nil {
+		h.extraVios = append(h.extraVios, Violation{
+			Invariant: "checkpoint", Detail: fmt.Sprintf("encode: %v", err)})
+		return
+	}
+	cp, err := trace.ReadCheckpoint(&buf)
+	if err != nil {
+		h.extraVios = append(h.extraVios, Violation{
+			Invariant: "checkpoint", Detail: fmt.Sprintf("decode: %v", err)})
+		return
+	}
+	w2 := trace.RestoreWindowedLog(cp, h.opts.TraceWindow)
+	w2.AddSink(h.acc)
+	w2.AddSink(h.olz)
+	if h.sp != nil {
+		w2.SetSpill(h.sp) // the spill file continues where it left off
+	}
+	h.w = w2
+	h.installRecorders()
 }

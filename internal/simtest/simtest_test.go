@@ -144,3 +144,62 @@ func TestBrokenCoherenceCaught(t *testing.T) {
 		t.Errorf("broken coherence variant caught on only %d of 10 seeds; the checkers are too weak", caught)
 	}
 }
+
+// TestStreamMatchesBatch is the pipeline differential: with the legacy
+// ShardedLog tee enabled, the streaming merge must reproduce the batch
+// merge's fingerprint and event count, and the online linearizability
+// and fence verdicts must agree with the batch checkers — across shard
+// counts and both barrier delivery modes (any disagreement surfaces as
+// a stream-equivalence violation inside runSeed).
+func TestStreamMatchesBatch(t *testing.T) {
+	for _, seed := range []int64{0, 1, 2, 3, 5} {
+		for _, shards := range []int{1, 2, 4, 8} {
+			for _, perMsg := range []bool{false, true} {
+				runSeed(t, seed, Options{Shards: shards, PerMessageDelivery: perMsg, BatchTee: true})
+				if t.Failed() {
+					t.Fatalf("seed %d shards=%d permsg=%v diverged", seed, shards, perMsg)
+				}
+			}
+		}
+	}
+}
+
+// TestCheckpointRestore proves the TGC1 state capture is complete: a run
+// whose trace state is encoded, decoded, and swapped mid-flight must end
+// with the same fingerprint, event count, and final time as an
+// uninterrupted run — on one shard and on several.
+func TestCheckpointRestore(t *testing.T) {
+	for _, seed := range []int64{0, 1, 2, 3, 7} {
+		for _, shards := range []int{1, 4} {
+			// Long enough that a drain boundary with merged output arrives
+			// before quiescence on every seed.
+			base := runSeed(t, seed, Options{Shards: shards, OpsPerNode: 150})
+			cp := runSeed(t, seed, Options{Shards: shards, OpsPerNode: 150, Checkpoint: true})
+			if !cp.Checkpointed {
+				t.Errorf("seed %d shards=%d: checkpoint exercise never ran (no drain boundary with output?)", seed, shards)
+			}
+			if cp.TraceHash != base.TraceHash || cp.Events != base.Events || cp.SimTime != base.SimTime {
+				t.Errorf("seed %d shards=%d: checkpointed run (hash %#x, %d events, %v) != uninterrupted (hash %#x, %d events, %v)",
+					seed, shards, cp.TraceHash, cp.Events, cp.SimTime, base.TraceHash, base.Events, base.SimTime)
+			}
+		}
+	}
+}
+
+// TestBoundedResidency is the bounded-memory claim: on a long run the
+// peak number of undrained events in the rings stays far below the
+// total event count (the windows drain as the run progresses), and the
+// online checker's undecided windows stay small too.
+func TestBoundedResidency(t *testing.T) {
+	res := runSeed(t, 0, Options{OpsPerNode: 600, TraceWindow: 512})
+	if res.Events < 10000 {
+		t.Fatalf("long run produced only %d events; the residency bound would be vacuous", res.Events)
+	}
+	if res.PeakResident <= 0 || res.PeakResident*4 >= res.Events {
+		t.Errorf("peak residency %d of %d events: the stream is not draining incrementally", res.PeakResident, res.Events)
+	}
+	if res.PeakWindow <= 0 || res.PeakWindow*4 >= res.Events {
+		t.Errorf("peak undecided window %d of %d events: the checker is not deciding incrementally", res.PeakWindow, res.Events)
+	}
+	t.Logf("events=%d peakResident=%d peakWindow=%d", res.Events, res.PeakResident, res.PeakWindow)
+}

@@ -9,7 +9,6 @@ import (
 	"telegraphos/internal/cpu"
 	"telegraphos/internal/params"
 	"telegraphos/internal/sim"
-	"telegraphos/internal/trace"
 	"telegraphos/internal/tsync"
 )
 
@@ -91,16 +90,12 @@ func build(sc Scenario, opts Options) *harness {
 		sc:        sc,
 		opts:      opts,
 		c:         core.New(cfg),
-		slog:      trace.NewShardedLog(sc.Nodes),
 		incTotals: make([]int, sc.Nodes),
 		copied:    make([]int, sc.Nodes),
 		plainVals: make(map[uint64]int),
 		cohVals:   make(map[uint64]int),
 		mcVals:    make(map[uint64]int),
 		fsVals:    make(map[uint64]bool),
-	}
-	for i, n := range h.c.Nodes {
-		n.HIB.SetRecorder(h.slog.Recorder(i))
 	}
 
 	layout := sim.ForkRNG(uint64(sc.Seed), "simtest/layout")
@@ -127,6 +122,18 @@ func build(sc Scenario, opts Options) *harness {
 	// Atomic words: [0] fetch&inc counter, [1] fetch&store / CAS target.
 	atomHome := layout.Intn(sc.Nodes)
 	h.atomVA = viewVA{va: h.c.AllocShared(addrspace.NodeID(atomHome), 16), home: atomHome}
+
+	// The single-copy words the linearizability checker covers: the plain
+	// region and the two atomic words (replicated pages have their own
+	// coherence checkers).
+	h.locs = make(map[uint64]bool, sc.PlainWords+2)
+	plainOff := h.c.SharedOffset(h.plainVA.va)
+	for w := 0; w < sc.PlainWords; w++ {
+		h.locs[uint64(addrspace.NewGAddr(addrspace.NodeID(plainHome), plainOff+8*uint64(w)))] = true
+	}
+	atomOff := h.c.SharedOffset(h.atomVA.va)
+	h.locs[uint64(addrspace.NewGAddr(addrspace.NodeID(atomHome), atomOff))] = true
+	h.locs[uint64(addrspace.NewGAddr(addrspace.NodeID(atomHome), atomOff+8))] = true
 
 	// Eager-update multicast page: homed on (and written only by) node M;
 	// every other node holds a mapped-out replica.
@@ -178,6 +185,7 @@ func build(sc Scenario, opts Options) *harness {
 			h.runProgram(ctx, i, ops, w)
 		})
 	}
+	h.attachStream()
 	return h
 }
 

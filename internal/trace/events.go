@@ -7,10 +7,7 @@
 // same seed can be compared byte-for-byte.
 package trace
 
-import (
-	"fmt"
-	"hash/fnv"
-)
+import "fmt"
 
 // EventKind classifies an event.
 type EventKind uint8
@@ -148,18 +145,72 @@ func (e Event) String() string {
 	return fmt.Sprintf("%dns n%d %s addr=%#x val=%#x aux=%#x", e.At, e.Node, e.Kind, e.Addr, e.Val, e.Aux)
 }
 
-// EventLog accumulates events in simulation order. It must only be used
-// from inside one engine's event/process context (the engine's hand-off
-// discipline already serializes appends).
-type EventLog struct {
-	events []Event
+// FNV-1a parameters (matching hash/fnv's 64a variant). The fingerprint
+// is folded incrementally as events are appended, so Hash is O(1); the
+// running value after n events is bit-identical to hashing the same n
+// events in one batch pass.
+const (
+	// HashInit is the fingerprint of the empty stream (the FNV-1a
+	// 64-bit offset basis).
+	HashInit uint64 = 14695981039346656037
+	fnvPrime uint64 = 1099511628211
+)
+
+// FoldHash folds one event into a running FNV-1a fingerprint: every
+// field in a fixed little-endian encoding, byte by byte. Folding a
+// stream event-at-a-time from HashInit equals hashing the batch.
+func FoldHash(h uint64, e Event) uint64 {
+	var buf [8 * 5]byte
+	put64(buf[0:], uint64(e.At))
+	put64(buf[8:], uint64(e.Node)<<8|uint64(e.Kind))
+	put64(buf[16:], e.Addr)
+	put64(buf[24:], e.Val)
+	put64(buf[32:], e.Aux)
+	for _, b := range buf {
+		h = (h ^ uint64(b)) * fnvPrime
+	}
+	return h
 }
 
+// maxKindSlot bounds the per-kind counter array (kinds are small consts).
+const maxKindSlot = int(EvOpArg) + 1
+
+// EventLog accumulates events in simulation order. It must only be used
+// from inside one engine's event/process context (the engine's hand-off
+// discipline already serializes appends). The fingerprint and the
+// per-node/per-kind counters are maintained on append, so Hash,
+// CountKind and CountNode are O(1) and ForNode is O(answer).
+type EventLog struct {
+	events []Event
+	hash   uint64
+	byKind [maxKindSlot]int
+	byNode map[int]*nodeIndex
+}
+
+// nodeIndex is one node's posting list into an EventLog.
+type nodeIndex struct{ at []int32 }
+
 // NewEventLog returns an empty log.
-func NewEventLog() *EventLog { return &EventLog{} }
+func NewEventLog() *EventLog { return &EventLog{hash: HashInit, byNode: make(map[int]*nodeIndex)} }
 
 // Append records one event.
-func (l *EventLog) Append(e Event) { l.events = append(l.events, e) }
+func (l *EventLog) Append(e Event) {
+	if l.byNode == nil { // zero-value logs stay usable
+		l.hash = HashInit
+		l.byNode = make(map[int]*nodeIndex)
+	}
+	idx := l.byNode[e.Node]
+	if idx == nil {
+		idx = &nodeIndex{}
+		l.byNode[e.Node] = idx
+	}
+	idx.at = append(idx.at, int32(len(l.events)))
+	if k := int(e.Kind); k < maxKindSlot {
+		l.byKind[k]++
+	}
+	l.hash = FoldHash(l.hash, e)
+	l.events = append(l.events, e)
+}
 
 // Len reports the number of recorded events.
 func (l *EventLog) Len() int { return len(l.events) }
@@ -169,17 +220,31 @@ func (l *EventLog) Events() []Event { return l.events }
 
 // ForNode returns the subsequence of events on one node.
 func (l *EventLog) ForNode(node int) []Event {
-	var out []Event
-	for _, e := range l.events {
-		if e.Node == node {
-			out = append(out, e)
-		}
+	idx := l.byNode[node]
+	if idx == nil {
+		return nil
+	}
+	out := make([]Event, len(idx.at))
+	for i, j := range idx.at {
+		out[i] = l.events[j]
 	}
 	return out
 }
 
+// CountNode reports the number of events on one node.
+func (l *EventLog) CountNode(node int) int {
+	idx := l.byNode[node]
+	if idx == nil {
+		return 0
+	}
+	return len(idx.at)
+}
+
 // CountKind reports the number of events of one kind.
 func (l *EventLog) CountKind(k EventKind) int {
+	if int(k) < maxKindSlot {
+		return l.byKind[k]
+	}
 	n := 0
 	for _, e := range l.events {
 		if e.Kind == k {
@@ -193,18 +258,12 @@ func (l *EventLog) CountKind(k EventKind) int {
 // every event, in order, in a fixed little-endian encoding. Two runs of
 // the same seed must produce identical hashes (the determinism
 // invariant); any divergence in timing, ordering, or values changes it.
+// The value is folded incrementally on Append, so this is O(1).
 func (l *EventLog) Hash() uint64 {
-	h := fnv.New64a()
-	var buf [8 * 5]byte
-	for _, e := range l.events {
-		put64(buf[0:], uint64(e.At))
-		put64(buf[8:], uint64(e.Node)<<8|uint64(e.Kind))
-		put64(buf[16:], e.Addr)
-		put64(buf[24:], e.Val)
-		put64(buf[32:], e.Aux)
-		h.Write(buf[:])
+	if l.byNode == nil && len(l.events) == 0 {
+		return HashInit
 	}
-	return h.Sum64()
+	return l.hash
 }
 
 // put64 stores v little-endian.

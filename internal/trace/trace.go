@@ -115,21 +115,40 @@ func UniformFrom(rng *sim.RNG, n, nodes, words int, writeFrac float64) []Access 
 // magic identifies the binary trace format.
 var magic = [4]byte{'T', 'G', 'T', '1'}
 
-// Write stores a trace in the compact binary format.
+// Field bounds of the packed TGT1 record: bit 0 is the write flag,
+// bits 1..16 the node rank, bits 17..63 the word index.
+const (
+	maxTraceNode = 1<<16 - 1
+	maxTraceWord = 1<<47 - 1
+)
+
+// Write stores a trace in the compact binary format. Accesses whose
+// node or word does not fit the packed record are rejected with an
+// error rather than silently truncated (a node rank > 65535 used to
+// wrap, corrupting the trace; a negative word packed garbage bits).
 func Write(w io.Writer, t []Access) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(magic[:]); err != nil {
 		return err
 	}
-	if err := binary.Write(bw, binary.LittleEndian, uint32(len(t))); err != nil {
+	var buf [8]byte
+	binary.LittleEndian.PutUint32(buf[:4], uint32(len(t)))
+	if _, err := bw.Write(buf[:4]); err != nil {
 		return err
 	}
-	for _, a := range t {
-		rec := uint64(a.Word)<<17 | uint64(a.Node&0xFFFF)<<1
+	for i, a := range t {
+		if a.Node < 0 || a.Node > maxTraceNode {
+			return fmt.Errorf("trace: access %d: node %d does not fit the 16-bit rank field [0, %d]", i, a.Node, maxTraceNode)
+		}
+		if a.Word < 0 || int64(a.Word) > maxTraceWord {
+			return fmt.Errorf("trace: access %d: word %d does not fit the 47-bit word field [0, %d]", i, a.Word, int64(maxTraceWord))
+		}
+		rec := uint64(a.Word)<<17 | uint64(a.Node)<<1
 		if a.Write {
 			rec |= 1
 		}
-		if err := binary.Write(bw, binary.LittleEndian, rec); err != nil {
+		binary.LittleEndian.PutUint64(buf[:], rec)
+		if _, err := bw.Write(buf[:]); err != nil {
 			return err
 		}
 	}
@@ -146,16 +165,17 @@ func Read(r io.Reader) ([]Access, error) {
 	if m != magic {
 		return nil, fmt.Errorf("trace: bad magic %q", m)
 	}
-	var n uint32
-	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+	var buf [8]byte
+	if _, err := io.ReadFull(br, buf[:4]); err != nil {
 		return nil, err
 	}
+	n := binary.LittleEndian.Uint32(buf[:4])
 	t := make([]Access, n)
 	for i := range t {
-		var rec uint64
-		if err := binary.Read(br, binary.LittleEndian, &rec); err != nil {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
 			return nil, err
 		}
+		rec := binary.LittleEndian.Uint64(buf[:])
 		t[i] = Access{
 			Write: rec&1 != 0,
 			Node:  int(rec >> 1 & 0xFFFF),

@@ -12,8 +12,9 @@ go vet ./...
 
 # Determinism & shard-safety lints: no wall clock or global math/rand in
 # sim-facing code, no effectful map-range iteration, no blocking calls in
-# event callbacks, no dropped event handles. Must exit clean before the
-# test phases run.
+# event callbacks, no dropped event handles, no HIB recorders that bypass
+# the trace pipeline, no filesystem access outside the spill writer. Must
+# exit clean before the test phases run.
 echo '== tgvet ./...'
 go run ./cmd/tgvet ./...
 
@@ -32,9 +33,19 @@ go test ./internal/simtest -run TestShardInvariantTraceHash -cpu 1,4 -count 1
 go test ./internal/experiments -run TestExperimentsShardInvariant -cpu 1,4 -count 1
 
 # Hot-path allocation budgets: schedule/fire/recycle and Chan.Send must
-# stay at zero allocations per event in steady state.
+# stay at zero allocations per event in steady state, and so must the
+# streaming trace pipeline's ring append + k-way drain + incremental hash.
 echo '== allocation budgets (-cpu 1,4)'
 go test ./internal/sim -run 'Allocs$' -cpu 1,4 -count 1
+go test ./internal/trace -run 'Allocs$' -cpu 1,4 -count 1
+
+# Bounded-memory gate: a long chaos run must keep peak trace residency
+# and the online checker's undecided windows O(window), not O(events),
+# and a mid-run checkpoint/restore must reproduce the uninterrupted
+# run's final trace hash.
+echo '== bounded memory + checkpoint/restore'
+go test ./internal/simtest -run 'TestBoundedResidency|TestCheckpointRestore' -count 1
+go run ./cmd/tgchaos -seeds 5 -checkpoint -window 512
 
 # Throughput floor: a short single-shard PDES smoke must stay above the
 # floor recorded by `make bench` (BENCH_pdes.floor). The floor is scaled
