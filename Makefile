@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet lint test race chaos litmus bench fuzz
+.PHONY: check build vet lint test race chaos litmus bench fuzz collectives
 
 # Tier-1 verify: build + vet + tests + race detector.
 check:
@@ -34,6 +34,14 @@ chaos:
 litmus:
 	$(GO) run ./cmd/tglitmus
 
+# In-network collective smoke (DESIGN.md §16): the collective and
+# switch-side unit/fuzz-seed tests, then E15 — the 64-node in-fabric vs
+# host-side barrier comparison and the hot-counter fetch&add
+# equivalence check (`make check` runs the same smoke).
+collectives:
+	$(GO) test ./internal/collective ./internal/switchfab -count 1
+	$(GO) run ./cmd/tgbench -exp E15
+
 # Full evaluation: the paper experiments, then the PDES node×shard
 # scaling sweep (writes BENCH_pdes.json; see EXPERIMENTS.md).
 bench:
@@ -46,3 +54,4 @@ fuzz:
 	$(GO) test ./internal/addrspace -fuzz FuzzAddrRoundTrips -fuzztime 10s
 	$(GO) test ./internal/linearize -fuzz FuzzLinearize -fuzztime 15s
 	$(GO) test ./internal/consistency -fuzz FuzzCoherent -fuzztime 15s
+	$(GO) test ./internal/switchfab -fuzz FuzzMergeSplit -fuzztime 10s

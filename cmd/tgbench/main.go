@@ -1,5 +1,5 @@
 // Command tgbench regenerates every table and figure of the paper's
-// evaluation (plus the protocol-claim experiments E4–E14) and prints a
+// evaluation (plus the protocol-claim experiments E4–E15) and prints a
 // paper-vs-measured comparison for each. See DESIGN.md for the
 // experiment index and EXPERIMENTS.md for recorded results.
 //
@@ -18,6 +18,9 @@
 //	                                 # pipeline attached: reports the
 //	                                 # shard-invariant fingerprint and
 //	                                 # peak (window-bounded) residency
+//	tgbench -collscale               # paper-scale E15 barrier sweep:
+//	                                 # host-side vs in-fabric, 64-1024
+//	                                 # nodes (EXPERIMENTS.md table)
 package main
 
 import (
@@ -30,13 +33,14 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "", "run a single experiment (E1..E14)")
+	exp := flag.String("exp", "", "run a single experiment (E1..E15)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	asJSON := flag.Bool("json", false, "emit results as JSON")
 	seed := flag.Int64("seed", 1, "deterministic base seed (same seed → bit-identical output)")
 	shards := flag.Int("shards", 1, "simulation shards (results are invariant to this; only wall time changes)")
 	perMsg := flag.Bool("permsg", false, "legacy per-message barrier delivery instead of batched hand-off (results are invariant; only wall time changes)")
 	pdes := flag.Bool("pdes", false, "run the PDES node×shard scaling sweep instead of the experiments")
+	collScale := flag.Bool("collscale", false, "run the paper-scale E15 barrier sweep (host-side vs in-fabric, 64-1024 nodes) instead of the experiments")
 	out := flag.String("out", "", "with -pdes: also write the sweep report as JSON to this file (plus the throughput floor as <file>.floor)")
 	traceWindow := flag.Int("trace-window", 0, "with -pdes: attach the streaming trace pipeline with this per-node ring capacity (0 = untraced); the report then includes the shard-invariant fingerprint and peak trace residency")
 	flag.Parse()
@@ -45,6 +49,13 @@ func main() {
 	experiments.SetShards(*shards)
 	experiments.SetPerMessageDelivery(*perMsg)
 	experiments.SetTraceWindow(*traceWindow)
+
+	if *collScale {
+		host, fabric := experiments.E15Scale([]int{64, 128, 256, 512, 1024}, 1)
+		fmt.Print(host.Format())
+		fmt.Print(fabric.Format())
+		return
+	}
 
 	if *pdes {
 		rep := experiments.PDESSweep(

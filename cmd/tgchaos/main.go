@@ -25,8 +25,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"telegraphos/internal/simtest"
+	"telegraphos/internal/stats"
 )
 
 func main() {
@@ -104,6 +106,18 @@ func main() {
 				fs := res.FaultStats
 				fmt.Printf("  faults: dropped=%d duplicated=%d reordered=%d retransmits=%d deduped=%d\n",
 					fs.Dropped, fs.Duplicated, fs.Reordered, fs.Retransmits, fs.Deduped)
+			}
+			if res.Scenario.FabricSync || res.Scenario.Combining {
+				cs := stats.NewCounterSet()
+				res.Collective.AddTo(cs)
+				// Switchless topologies (pair) have no fabric counters.
+				if names := cs.Names(); len(names) > 0 {
+					fmt.Printf("  collectives:")
+					for _, n := range names {
+						fmt.Printf(" %s=%d", strings.TrimPrefix(n, "collective."), cs.Get(n))
+					}
+					fmt.Println()
+				}
 			}
 		}
 		if bad {

@@ -1,0 +1,191 @@
+// Package collective is the user-level API of the in-network collective
+// subsystem: combining trees for hot-counter fetch&add, switch-resident
+// barriers, and in-fabric reductions whose single result is multicast
+// back down the tree (which is also the broadcast primitive: reduce a
+// sum where only the source contributes a non-zero operand).
+//
+// A Manager wires a built cluster's fabric: it derives a deterministic
+// spanning tree from the routing tables (topology.SpanningTree),
+// installs each switch's role (switchfab.TreePlan), and registers the
+// participant boards (hib.JoinCollective). Synchronization latency then
+// scales with tree depth — O(log N) — instead of the host-side
+// barrier's O(N) serialized hot-counter increments, the motivation
+// NIC/switch-resident barriers and the NYU Ultracomputer combining
+// network established for this design point.
+package collective
+
+import (
+	"fmt"
+
+	"telegraphos/internal/addrspace"
+	"telegraphos/internal/core"
+	"telegraphos/internal/cpu"
+	"telegraphos/internal/hib"
+	"telegraphos/internal/packet"
+	"telegraphos/internal/switchfab"
+	"telegraphos/internal/topology"
+)
+
+// Manager wires in-network collectives into one built cluster.
+type Manager struct {
+	c      *core.Cluster
+	nextID uint64
+}
+
+// New returns a Manager for c. Create groups and enable combining
+// before the simulation starts.
+func New(c *core.Cluster) *Manager { return &Manager{c: c} }
+
+// EnableCombining turns on fetch&add combining fabric-wide: every
+// switch merges concurrent combinable requests (cfg bounds the wait
+// window and fan-in; zero values take defaults), and every board
+// launches remote fetch&increments as combinable adds.
+func (m *Manager) EnableCombining(cfg switchfab.CombineConfig) {
+	for i, sw := range m.c.Net.Switches {
+		sw.EnableCombining(i, cfg)
+	}
+	for _, n := range m.c.Nodes {
+		n.HIB.SetCombining(true)
+	}
+}
+
+// newGroup allocates a group id over participants (empty = every node),
+// registers the spanning tree on the switches and the membership on the
+// boards, and returns the id. The root is the smallest participant and
+// the release target the second smallest, so construction is a pure
+// function of the participant set.
+func (m *Manager) newGroup(participants []addrspace.NodeID) (uint64, int) {
+	parts := participants
+	if len(parts) == 0 {
+		parts = make([]addrspace.NodeID, m.c.N())
+		for i := range parts {
+			parts[i] = addrspace.NodeID(i)
+		}
+	}
+	seen := make([]bool, m.c.N())
+	root, rel := addrspace.NodeID(0), addrspace.NodeID(0)
+	for i, p := range parts {
+		if int(p) >= m.c.N() {
+			panic(fmt.Sprintf("collective: participant %v out of range", p))
+		}
+		if seen[p] {
+			panic(fmt.Sprintf("collective: duplicate participant %v", p))
+		}
+		seen[p] = true
+		if i == 0 || p < root {
+			root = p
+		}
+	}
+	rel = root // sole participant: the root releases itself, no packet
+	for _, p := range parts {
+		if p != root && (rel == root || p < rel) {
+			rel = p
+		}
+	}
+	m.nextID++
+	id := m.nextID
+	for _, st := range m.c.Net.SpanningTree(root, parts) {
+		st.Switch.RegisterCollective(id, st.Plan)
+	}
+	for _, p := range parts {
+		m.c.Nodes[p].HIB.JoinCollective(hib.CollGroupConfig{
+			ID:         id,
+			Root:       root,
+			Expect:     len(parts),
+			ReleaseDst: rel,
+		})
+	}
+	return id, len(parts)
+}
+
+// arrive is one collective episode from program context: the CPU pays
+// the uncached-store issue cost of poking the board, the board does the
+// rest (see hib.CollectiveArrive).
+func arrive(ctx *cpu.Ctx, id uint64, reduce bool, rop packet.ReduceOp, operand uint64) uint64 {
+	h := ctx.CPU.HIB
+	t := h.Timing()
+	ctx.Compute(t.CPUOp + t.TCWriteLatch)
+	return h.CollectiveArrive(ctx.P, id, reduce, rop, operand)
+}
+
+// Barrier is a switch-resident barrier: arrivals combine upward through
+// the fabric's spanning tree and a single release multicasts downward.
+// It is a drop-in for tsync.Barrier's Participant/Wait usage.
+type Barrier struct {
+	id uint64
+	n  int
+}
+
+// NewBarrier builds an in-fabric barrier over participants (none =
+// every node of the cluster).
+func (m *Manager) NewBarrier(participants ...addrspace.NodeID) *Barrier {
+	id, n := m.newGroup(participants)
+	return &Barrier{id: id, n: n}
+}
+
+// N reports the participant count.
+func (b *Barrier) N() int { return b.n }
+
+// Waiter is one participant's handle.
+type Waiter struct{ b *Barrier }
+
+// Participant returns a participant handle.
+func (b *Barrier) Participant() *Waiter { return &Waiter{b: b} }
+
+// Wait blocks until every participant arrives. As with the host-side
+// barrier, a fence is embedded so all prior remote operations are
+// globally visible before anyone proceeds (§2.3.5).
+func (w *Waiter) Wait(ctx *cpu.Ctx) {
+	ctx.Fence()
+	arrive(ctx, w.b.id, false, packet.ReduceSum, 0)
+}
+
+// Reducer performs in-fabric reductions over word operands: every
+// participant contributes, the switches fold partial results on the way
+// up, and the root's single result is multicast to all participants.
+type Reducer struct {
+	id uint64
+	n  int
+}
+
+// NewReducer builds an in-fabric reducer over participants (none =
+// every node of the cluster).
+func (m *Manager) NewReducer(participants ...addrspace.NodeID) *Reducer {
+	id, n := m.newGroup(participants)
+	return &Reducer{id: id, n: n}
+}
+
+// N reports the participant count.
+func (r *Reducer) N() int { return r.n }
+
+// Reduce folds operand with every other participant's under op and
+// returns the group-wide result; all participants of a round must pass
+// the same op. A reduction is also a barrier (nobody proceeds before
+// everyone contributed) and a broadcast (sum with a single non-zero
+// contributor delivers that value to everyone).
+func (r *Reducer) Reduce(ctx *cpu.Ctx, op packet.ReduceOp, operand uint64) uint64 {
+	ctx.Fence()
+	return arrive(ctx, r.id, true, op, operand)
+}
+
+// FabricStats sums the per-switch collective counters across a fabric
+// (max fields take the fabric-wide maximum).
+func FabricStats(net *topology.Network) switchfab.CollectiveStats {
+	var t switchfab.CollectiveStats
+	for _, sw := range net.Switches {
+		s := sw.CollectiveStats()
+		t.Combined += s.Combined
+		t.Arrivals += s.Arrivals
+		t.BarrierRounds += s.BarrierRounds
+		t.ReduceRounds += s.ReduceRounds
+		t.Releases += s.Releases
+		t.FanoutTotal += s.FanoutTotal
+		if s.CombineHW > t.CombineHW {
+			t.CombineHW = s.CombineHW
+		}
+		if s.FanoutMax > t.FanoutMax {
+			t.FanoutMax = s.FanoutMax
+		}
+	}
+	return t
+}

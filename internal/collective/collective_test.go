@@ -1,0 +1,314 @@
+package collective
+
+import (
+	"testing"
+
+	"telegraphos/internal/addrspace"
+	"telegraphos/internal/core"
+	"telegraphos/internal/cpu"
+	"telegraphos/internal/packet"
+	"telegraphos/internal/params"
+	"telegraphos/internal/switchfab"
+	"telegraphos/internal/trace"
+)
+
+func cluster(n int, topo string) *core.Cluster {
+	cfg := params.Default(n)
+	cfg.Topology = topo
+	cfg.Sizing.MemBytes = 1 << 18
+	return core.New(cfg)
+}
+
+// checkBarrier runs rounds of barrier waits on every node and asserts
+// that nobody leaves round r before everyone entered it.
+func checkBarrier(t *testing.T, c *core.Cluster, b *Barrier, rounds int) {
+	t.Helper()
+	n := c.N()
+	phase := make([]int, n)
+	for i := 0; i < n; i++ {
+		i := i
+		w := b.Participant()
+		c.Spawn(i, "p", func(ctx *cpu.Ctx) {
+			for r := 1; r <= rounds; r++ {
+				phase[i] = r
+				w.Wait(ctx)
+				for j := 0; j < n; j++ {
+					if phase[j] < r {
+						t.Errorf("round %d: node %d released while node %d is at %d", r, i, j, phase[j])
+					}
+				}
+				w.Wait(ctx) // hold everyone until the checks above ran
+			}
+		})
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, sw := range c.Net.Switches {
+		if sw.PendingCollective() != 0 {
+			t.Errorf("switch %s retains collective state after quiesce", sw.Name())
+		}
+		if sw.Misroutes() != 0 {
+			t.Errorf("switch %s misrouted %d packets", sw.Name(), sw.Misroutes())
+		}
+	}
+}
+
+func TestBarrierTree(t *testing.T) {
+	c := cluster(16, "tree")
+	m := New(c)
+	checkBarrier(t, c, m.NewBarrier(), 3)
+	st := FabricStats(c.Net)
+	if st.Arrivals == 0 || st.BarrierRounds == 0 || st.Releases == 0 {
+		t.Errorf("tree fabric saw no collective work: %+v", st)
+	}
+	if st.FanoutMax < 2 {
+		t.Errorf("multicast fanout max = %d, want >= 2", st.FanoutMax)
+	}
+}
+
+func TestBarrierStar(t *testing.T) {
+	c := cluster(8, "star")
+	checkBarrier(t, c, New(c).NewBarrier(), 3)
+}
+
+func TestBarrierChain(t *testing.T) {
+	c := cluster(8, "chain")
+	checkBarrier(t, c, New(c).NewBarrier(), 2)
+}
+
+func TestBarrierPair(t *testing.T) {
+	// No switches at all: the root's single release goes straight to
+	// the only other participant.
+	c := cluster(2, "pair")
+	checkBarrier(t, c, New(c).NewBarrier(), 3)
+}
+
+func TestBarrierSolo(t *testing.T) {
+	c := cluster(4, "star")
+	b := New(c).NewBarrier(2)
+	if b.N() != 1 {
+		t.Fatalf("solo barrier N = %d", b.N())
+	}
+	w := b.Participant()
+	done := false
+	c.Spawn(2, "solo", func(ctx *cpu.Ctx) {
+		w.Wait(ctx)
+		w.Wait(ctx)
+		done = true
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("solo barrier never released")
+	}
+}
+
+func TestBarrierSubset(t *testing.T) {
+	c := cluster(8, "tree")
+	m := New(c)
+	parts := []addrspace.NodeID{1, 3, 5, 7}
+	b := m.NewBarrier(parts...)
+	if b.N() != 4 {
+		t.Fatalf("subset barrier N = %d", b.N())
+	}
+	phase := make([]int, 8)
+	for _, i := range parts {
+		i := int(i)
+		w := b.Participant()
+		c.Spawn(i, "p", func(ctx *cpu.Ctx) {
+			for r := 1; r <= 3; r++ {
+				phase[i] = r
+				w.Wait(ctx)
+				for _, j := range parts {
+					if phase[j] < r {
+						t.Errorf("round %d: node %d released before node %v arrived", r, i, j)
+					}
+				}
+				w.Wait(ctx)
+			}
+		})
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceOps(t *testing.T) {
+	const n = 9
+	c := cluster(n, "tree")
+	m := New(c)
+	r := m.NewReducer()
+	if r.N() != n {
+		t.Fatalf("reducer N = %d", r.N())
+	}
+	var sums, mins, maxs [n]uint64
+	for i := 0; i < n; i++ {
+		i := i
+		c.Spawn(i, "p", func(ctx *cpu.Ctx) {
+			sums[i] = r.Reduce(ctx, packet.ReduceSum, uint64(i+1))
+			mins[i] = r.Reduce(ctx, packet.ReduceMin, uint64(10+i*3))
+			maxs[i] = r.Reduce(ctx, packet.ReduceMax, uint64(100-i*7))
+		})
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if sums[i] != n*(n+1)/2 {
+			t.Errorf("node %d sum = %d, want %d", i, sums[i], n*(n+1)/2)
+		}
+		if mins[i] != 10 {
+			t.Errorf("node %d min = %d, want 10", i, mins[i])
+		}
+		if maxs[i] != 100 {
+			t.Errorf("node %d max = %d, want 100", i, maxs[i])
+		}
+	}
+	if st := FabricStats(c.Net); st.ReduceRounds == 0 {
+		t.Errorf("no in-fabric reduce combining happened: %+v", st)
+	}
+}
+
+func TestReduceBroadcast(t *testing.T) {
+	// Broadcast = sum-reduce with a single non-zero contributor.
+	const n = 6
+	c := cluster(n, "tree")
+	r := New(c).NewReducer()
+	var got [n]uint64
+	for i := 0; i < n; i++ {
+		i := i
+		c.Spawn(i, "p", func(ctx *cpu.Ctx) {
+			v := uint64(0)
+			if i == 3 {
+				v = 0xCAFE
+			}
+			got[i] = r.Reduce(ctx, packet.ReduceSum, v)
+		})
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if got[i] != 0xCAFE {
+			t.Errorf("node %d broadcast value = %#x", i, got[i])
+		}
+	}
+}
+
+func TestCombiningHotCounter(t *testing.T) {
+	const n, ops = 8, 5
+	c := cluster(n, "star")
+	m := New(c)
+	m.EnableCombining(switchfab.CombineConfig{})
+	va := c.AllocShared(0, 8)
+	var got [n][ops]uint64
+	for i := 0; i < n; i++ {
+		i := i
+		c.Spawn(i, "p", func(ctx *cpu.Ctx) {
+			for k := 0; k < ops; k++ {
+				got[i][k] = ctx.FetchAndInc(va)
+			}
+		})
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var final uint64
+	c.Spawn(0, "check", func(ctx *cpu.Ctx) { final = ctx.Load(va) })
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if final != n*ops {
+		t.Fatalf("hot counter = %d, want %d", final, n*ops)
+	}
+	// Every fetched value distinct and in range: combining must equal
+	// some sequential interleaving.
+	seen := make([]bool, n*ops)
+	for i := range got {
+		for _, v := range got[i] {
+			if v >= n*ops || seen[v] {
+				t.Fatalf("fetch&inc values not a permutation: %v", got)
+			}
+			seen[v] = true
+		}
+	}
+	st := FabricStats(c.Net)
+	if st.Combined == 0 {
+		t.Errorf("no requests were combined: %+v", st)
+	}
+	if st.CombineHW < 2 {
+		t.Errorf("combine high-water = %d, want >= 2", st.CombineHW)
+	}
+	for _, sw := range c.Net.Switches {
+		if sw.PendingCollective() != 0 {
+			t.Errorf("switch %s retains combine state after quiesce", sw.Name())
+		}
+	}
+}
+
+// TestShardInvariance is the determinism contract with collectives on:
+// bit-identical per-node traces for shard counts 1, 2 and 4.
+func TestShardInvariance(t *testing.T) {
+	run := func(shards int) (uint64, uint64) {
+		const n = 16
+		cfg := params.Default(n)
+		cfg.Topology = "tree"
+		cfg.Sizing.MemBytes = 1 << 18
+		cfg.Shards = shards
+		c := core.New(cfg)
+		m := New(c)
+		m.EnableCombining(switchfab.CombineConfig{})
+		b := m.NewBarrier()
+		r := m.NewReducer()
+		va := c.AllocShared(0, 8)
+		logs := make([]*trace.EventLog, n)
+		results := make([]uint64, n)
+		for i := 0; i < n; i++ {
+			i := i
+			logs[i] = trace.NewEventLog()
+			c.Nodes[i].HIB.SetRecorder(logs[i].Append)
+			w := b.Participant()
+			c.Spawn(i, "p", func(ctx *cpu.Ctx) {
+				for round := 0; round < 2; round++ {
+					ctx.FetchAndInc(va)
+					w.Wait(ctx)
+					results[i] += r.Reduce(ctx, packet.ReduceSum, uint64(i))
+				}
+			})
+		}
+		if err := c.Run(); err != nil {
+			t.Fatal(err)
+		}
+		h := trace.HashInit
+		var rsum uint64
+		for i := 0; i < n; i++ {
+			h = h*31 + logs[i].Hash()
+			rsum += results[i]
+		}
+		return h, rsum
+	}
+	h1, r1 := run(1)
+	for _, shards := range []int{2, 4} {
+		h, r := run(shards)
+		if h != h1 || r != r1 {
+			t.Fatalf("shards=%d diverged: hash %#x vs %#x, results %d vs %d", shards, h, h1, r, r1)
+		}
+	}
+}
+
+func TestGroupValidation(t *testing.T) {
+	c := cluster(4, "star")
+	m := New(c)
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("duplicate participant", func() { m.NewBarrier(1, 1) })
+	mustPanic("out-of-range participant", func() { m.NewBarrier(9) })
+}

@@ -79,8 +79,11 @@ func New(cfg params.Config) *Cluster {
 	// A switch runs on the shard of its first attached node (the star's
 	// single switch lands on shard 0).
 	swEng := func(s int) *sim.Engine {
-		if cfg.Topology == "chain" {
+		switch cfg.Topology {
+		case "chain":
 			return nodeEng(s * cfg.ChainPerSwitch)
+		case "tree":
+			return nodeEng(topology.TreeAnchor(cfg.Nodes, cfg.TreeRadix, s))
 		}
 		return g.Shard(0)
 	}
@@ -97,6 +100,8 @@ func New(cfg params.Config) *Cluster {
 		net = topology.BuildStarOn(assign, cfg.Nodes, cfg.Link, cfg.Switch)
 	case "chain":
 		net = topology.BuildChainOn(assign, cfg.Nodes, cfg.ChainPerSwitch, cfg.Link, cfg.Switch)
+	case "tree":
+		net = topology.BuildTreeOn(assign, cfg.Nodes, cfg.TreeRadix, cfg.Link, cfg.Switch)
 	default:
 		panic(fmt.Sprintf("core: unknown topology %q", cfg.Topology))
 	}

@@ -1,6 +1,6 @@
 // Package experiments reproduces every quantitative artifact of the
 // paper's evaluation and turns each qualitative protocol claim into a
-// measured experiment. The experiment index (E1–E14) is documented in
+// measured experiment. The experiment index (E1–E15) is documented in
 // DESIGN.md; EXPERIMENTS.md records paper-vs-measured results.
 //
 // Each experiment is a pure function returning a Result; cmd/tgbench
@@ -154,6 +154,7 @@ var registry = map[string]Runner{
 	"E12": E12UpdateVsInvalidate,
 	"E13": E13SwitchLoad,
 	"E14": E14LaunchCost,
+	"E15": E15InFabricCollectives,
 }
 
 // IDs lists experiment identifiers in order.

@@ -234,7 +234,7 @@ func (h *HIB) launchAtomic(p *sim.Proc, id int) uint64 {
 	rid := h.nextReqID
 	fut := sim.NewFuture[uint64](h.eng)
 	h.pendingReads[rid] = fut
-	h.postCPU(p, &packet.Packet{
+	req := &packet.Packet{
 		Type:  packet.AtomicReq,
 		Src:   h.node,
 		Dst:   g.Node(),
@@ -243,7 +243,16 @@ func (h *HIB) launchAtomic(p *sim.Proc, id int) uint64 {
 		Val2:  c.operand2,
 		Op:    c.op,
 		ReqID: rid,
-	})
+	}
+	if h.combining && c.op == packet.FetchAndInc {
+		// A remote fetch&increment travels as a combinable add of one so
+		// switches can merge concurrent hot-counter requests in flight;
+		// the reply carries this ReqID back after any de-combining.
+		req.Type = packet.CombAddReq
+		req.Val = 1
+		req.Val2 = 0
+	}
+	h.postCPU(p, req)
 	old := fut.Wait(p)
 	h.returnOp(bop, seq, g, old)
 	return old

@@ -135,6 +135,30 @@ func (h *HIB) serviceFast(pkt *packet.Packet, done func()) bool {
 			}
 		})
 
+	case packet.CombAddReq:
+		h.countRx(pkt.Type)
+		//tgvet:allow eventdrop(atomic read-modify-write delay always fires; no cancel path exists)
+		h.eng.Schedule(h.timing.MPMRead+h.timing.MPMWrite, func() {
+			h.applyCombAdd(pkt)
+			if done != nil {
+				done()
+			}
+		})
+
+	case packet.BarrierArrive, packet.ReduceReq:
+		h.countRx(pkt.Type)
+		h.collArrivePkt(pkt)
+		if done != nil {
+			done()
+		}
+
+	case packet.BarrierRelease, packet.ReduceResult:
+		h.countRx(pkt.Type)
+		h.collReleasePkt(pkt)
+		if done != nil {
+			done()
+		}
+
 	case packet.MsgData:
 		if h.msgSink != nil {
 			return false
@@ -153,7 +177,7 @@ func (h *HIB) serviceFast(pkt *packet.Packet, done func()) bool {
 			done()
 		}
 
-	case packet.ReadReply, packet.AtomicReply:
+	case packet.ReadReply, packet.AtomicReply, packet.CombAddReply:
 		h.countRx(pkt.Type)
 		fut, ok := h.pendingReads[pkt.ReqID]
 		if !ok {
@@ -234,6 +258,13 @@ func (h *HIB) handleRequest(p *sim.Proc, pkt *packet.Packet) {
 		h.Emit(trace.EvAtomicApply, uint64(pkt.Addr), pkt.Val, uint64(pkt.Src))
 		h.reply(&packet.Packet{Type: packet.AtomicReply, Dst: pkt.Src, Val: old, ReqID: pkt.ReqID})
 
+	case packet.CombAddReq:
+		p.Sleep(h.timing.MPMRead + h.timing.MPMWrite)
+		h.applyCombAdd(pkt)
+
+	case packet.BarrierArrive, packet.ReduceReq:
+		h.collArrivePkt(pkt)
+
 	case packet.CopyReq:
 		h.streamCopy(p, pkt)
 
@@ -263,7 +294,7 @@ func (h *HIB) handleReply(p *sim.Proc, pkt *packet.Packet) {
 	case packet.WriteAck:
 		h.AddOutstanding(-1)
 
-	case packet.ReadReply, packet.AtomicReply:
+	case packet.ReadReply, packet.AtomicReply, packet.CombAddReply:
 		fut, ok := h.pendingReads[pkt.ReqID]
 		if !ok {
 			h.Counters.Inc("orphan-reply")
@@ -271,6 +302,9 @@ func (h *HIB) handleReply(p *sim.Proc, pkt *packet.Packet) {
 		}
 		delete(h.pendingReads, pkt.ReqID)
 		fut.Resolve(pkt.Val)
+
+	case packet.BarrierRelease, packet.ReduceResult:
+		h.collReleasePkt(pkt)
 
 	case packet.CopyData:
 		p.Sleep(h.timing.MPMWrite) // burst setup

@@ -121,6 +121,11 @@ type HIB struct {
 	nextReqID    uint64
 	pendingReads map[uint64]*sim.Future[uint64]
 
+	// In-network collective state (see collops.go): group memberships
+	// and the combinable-fetch&add launch flag.
+	collGroups map[uint64]*collGroup
+	combining  bool
+
 	opSeq uint64 // boundary-event sequence (pairs invoke/return)
 
 	contexts     []tgContext

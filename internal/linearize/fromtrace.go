@@ -30,7 +30,9 @@ import (
 // outstanding-operation count the board saw at completion.
 //
 // BOpPageIn boundary events (DSM page transfers) are observability-only
-// and are not part of the object model; they are skipped.
+// and are not part of the object model; they are skipped, as are the
+// BOpBarrier/BOpReduce synchronization boundaries of the in-fabric
+// collectives (internal/collective).
 
 type pairKey struct {
 	node int
@@ -171,7 +173,7 @@ func (b *histBuilder) feed(e trace.Event) {
 	switch e.Kind {
 	case trace.EvOpInvoke:
 		bop, seq := trace.SplitBoundaryAux(e.Aux)
-		if bop == trace.BOpPageIn {
+		if bop == trace.BOpPageIn || bop == trace.BOpBarrier || bop == trace.BOpReduce {
 			return
 		}
 		g := addrspace.GAddr(e.Addr)
@@ -207,7 +209,7 @@ func (b *histBuilder) feed(e trace.Event) {
 
 	case trace.EvOpReturn:
 		bop, seq := trace.SplitBoundaryAux(e.Aux)
-		if bop == trace.BOpPageIn {
+		if bop == trace.BOpPageIn || bop == trace.BOpBarrier || bop == trace.BOpReduce {
 			return
 		}
 		k := pairKey{e.Node, seq}

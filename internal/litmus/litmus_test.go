@@ -176,3 +176,30 @@ func TestStaggerScalesWithVariant(t *testing.T) {
 		t.Error("variants 0 and 3 produced identical traces; stagger had no effect")
 	}
 }
+
+// TestCombiningFAI pins the combining arm directly: the hot-counter test
+// stays violation-free with in-switch combining across shard counts and
+// fault schedules, and the combining runs remain shard-invariant.
+func TestCombiningFAI(t *testing.T) {
+	lt := findTest(t, "comb-fai")
+	for _, fl := range FaultLevels(false) {
+		var wantHash uint64
+		for i, shards := range []int{1, 2, 4} {
+			plan := fl.Plan
+			if plan != nil {
+				p := *plan
+				p.Seed = 42
+				plan = &p
+			}
+			rr := Run(lt, Config{Protocol: Update, Shards: shards, Faults: plan, Combining: true, Seed: 42})
+			if len(rr.Violations) > 0 {
+				t.Errorf("faults=%s shards=%d: %v", fl.Name, shards, rr.Violations)
+			}
+			if i == 0 {
+				wantHash = rr.TraceHash
+			} else if rr.TraceHash != wantHash {
+				t.Errorf("faults=%s: combining trace hash differs at shards=%d", fl.Name, shards)
+			}
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"telegraphos/internal/addrspace"
 	"telegraphos/internal/coherence"
+	"telegraphos/internal/collective"
 	"telegraphos/internal/consistency"
 	"telegraphos/internal/core"
 	"telegraphos/internal/cpu"
@@ -12,6 +13,7 @@ import (
 	"telegraphos/internal/link"
 	"telegraphos/internal/params"
 	"telegraphos/internal/sim"
+	"telegraphos/internal/switchfab"
 	"telegraphos/internal/trace"
 )
 
@@ -52,6 +54,11 @@ type Config struct {
 	Shards int
 	// Faults is the link fault schedule (nil = clean network).
 	Faults *link.FaultPlan
+	// Combining enables in-switch fetch&add combining fabric-wide
+	// (internal/collective): remote fetch&increments travel as combinable
+	// adds that switches may merge in flight. Semantics must be
+	// indistinguishable from the uncombined runs.
+	Combining bool
 	// Variant scales the test's Stagger delays (timing sweep index).
 	Variant int
 	// Seed drives the simulation RNG streams.
@@ -111,6 +118,9 @@ func Run(t *Test, cfg Config) *RunResult {
 	pcfg.Link.Faults = cfg.Faults
 	pcfg.Shards = cfg.Shards
 	c := core.New(pcfg)
+	if cfg.Combining {
+		collective.New(c).EnableCombining(switchfab.CombineConfig{})
+	}
 
 	// Streaming trace pipeline: per-node rings drained at every safe
 	// watermark into the online checker; with Compare (or a debug tap)

@@ -55,6 +55,22 @@ type CellKey struct {
 	Protocol Protocol
 	Shards   int
 	Faults   string
+	// Comb marks the in-switch combining arm (run only for tests that
+	// issue fetch&increments — combining is a no-op for the rest).
+	Comb bool
+}
+
+// usesFAI reports whether the test issues any fetch&increment — the only
+// operation in-switch combining transforms.
+func usesFAI(t *Test) bool {
+	for _, th := range t.Threads {
+		for _, s := range th {
+			if s.Op == FAI {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // Cell accumulates one configuration's outcomes over the variant sweep.
@@ -103,6 +119,7 @@ func Sweep(opts SweepOptions) *SweepResult {
 		protocol Protocol
 		faults   string
 		variant  int
+		comb     bool
 	}
 	hashes := make(map[hashKey]map[int]uint64)
 
@@ -121,51 +138,58 @@ func Sweep(opts SweepOptions) *SweepResult {
 				if proto == Invalidate && shards > 1 {
 					continue
 				}
+				combModes := []bool{false}
+				if usesFAI(t) {
+					combModes = append(combModes, true)
+				}
 				for _, fl := range faultLevels {
-					key := CellKey{Test: t.Name, Protocol: proto, Shards: shards, Faults: fl.Name}
-					cell := res.Cells[key]
-					if cell == nil {
-						cell = &Cell{Outcomes: make(map[string]int)}
-						res.Cells[key] = cell
-					}
-					for v := 0; v < variants; v++ {
-						seed := opts.Seed + int64(v)*7919
-						var plan *link.FaultPlan
-						if fl.Plan != nil {
-							p := *fl.Plan
-							p.Seed = seed
-							plan = &p
+					for _, comb := range combModes {
+						key := CellKey{Test: t.Name, Protocol: proto, Shards: shards, Faults: fl.Name, Comb: comb}
+						cell := res.Cells[key]
+						if cell == nil {
+							cell = &Cell{Outcomes: make(map[string]int)}
+							res.Cells[key] = cell
 						}
-						rr := Run(t, Config{
-							Protocol: proto,
-							Shards:   shards,
-							Faults:   plan,
-							Variant:  v,
-							Seed:     seed,
-						})
-						res.Runs++
-						cell.Runs++
-						cell.Outcomes[rr.Outcome.String()]++
-						if rr.Forbidden {
-							cell.Forbidden++
-						}
-						if rr.Witnessed {
-							cell.Witnessed++
-							delete(witnessNeeded, t.Name+"/"+proto.String())
-						}
-						for _, viol := range rr.Violations {
-							res.Violations = append(res.Violations,
-								fmt.Sprintf("%s proto=%v shards=%d faults=%s variant=%d: %s",
-									t.Name, proto, shards, fl.Name, v, viol))
-						}
-						hk := hashKey{t.Name, proto, fl.Name, v}
-						if hashes[hk] == nil {
-							hashes[hk] = make(map[int]uint64)
-						}
-						hashes[hk][shards] = rr.TraceHash
-						if opts.Verbose && opts.Out != nil {
-							fmt.Fprintf(opts.Out, "  %-14s proto=%-10v shards=%d faults=%-5s v=%d → %v\n",
-								t.Name, proto, shards, fl.Name, v, rr.Outcome)
+						for v := 0; v < variants; v++ {
+							seed := opts.Seed + int64(v)*7919
+							var plan *link.FaultPlan
+							if fl.Plan != nil {
+								p := *fl.Plan
+								p.Seed = seed
+								plan = &p
+							}
+							rr := Run(t, Config{
+								Protocol:  proto,
+								Shards:    shards,
+								Faults:    plan,
+								Combining: comb,
+								Variant:   v,
+								Seed:      seed,
+							})
+							res.Runs++
+							cell.Runs++
+							cell.Outcomes[rr.Outcome.String()]++
+							if rr.Forbidden {
+								cell.Forbidden++
+							}
+							if rr.Witnessed {
+								cell.Witnessed++
+								delete(witnessNeeded, t.Name+"/"+proto.String())
+							}
+							for _, viol := range rr.Violations {
+								res.Violations = append(res.Violations,
+									fmt.Sprintf("%s proto=%v shards=%d faults=%s comb=%v variant=%d: %s",
+										t.Name, proto, shards, fl.Name, comb, v, viol))
+							}
+							hk := hashKey{t.Name, proto, fl.Name, v, comb}
+							if hashes[hk] == nil {
+								hashes[hk] = make(map[int]uint64)
+							}
+							hashes[hk][shards] = rr.TraceHash
+							if opts.Verbose && opts.Out != nil {
+								fmt.Fprintf(opts.Out, "  %-14s proto=%-10v shards=%d faults=%-5s comb=%v v=%d → %v\n",
+									t.Name, proto, shards, fl.Name, comb, v, rr.Outcome)
+							}
 						}
 					}
 				}
@@ -191,7 +215,10 @@ func Sweep(opts SweepOptions) *SweepResult {
 		if a.faults != b.faults {
 			return a.faults < b.faults
 		}
-		return a.variant < b.variant
+		if a.variant != b.variant {
+			return a.variant < b.variant
+		}
+		return !a.comb && b.comb
 	})
 	for _, hk := range hkeys {
 		byShard := hashes[hk]
@@ -208,8 +235,8 @@ func Sweep(opts SweepOptions) *SweepResult {
 			}
 			if h != want {
 				res.Violations = append(res.Violations, fmt.Sprintf(
-					"shard-variance: %s proto=%v faults=%s variant=%d: trace hash differs across shard counts",
-					hk.test, hk.protocol, hk.faults, hk.variant))
+					"shard-variance: %s proto=%v faults=%s comb=%v variant=%d: trace hash differs across shard counts",
+					hk.test, hk.protocol, hk.faults, hk.comb, hk.variant))
 				break
 			}
 		}
@@ -240,7 +267,10 @@ func (r *SweepResult) Report(w io.Writer) {
 		if a.Shards != b.Shards {
 			return a.Shards < b.Shards
 		}
-		return a.Faults < b.Faults
+		if a.Faults != b.Faults {
+			return a.Faults < b.Faults
+		}
+		return !a.Comb && b.Comb
 	})
 	lastTest := ""
 	for _, k := range keys {
@@ -250,6 +280,9 @@ func (r *SweepResult) Report(w io.Writer) {
 		}
 		c := r.Cells[k]
 		fmt.Fprintf(w, "  proto=%-10v shards=%d faults=%-5s runs=%d", k.Protocol, k.Shards, k.Faults, c.Runs)
+		if k.Comb {
+			fmt.Fprintf(w, " comb")
+		}
 		if c.Forbidden > 0 {
 			fmt.Fprintf(w, " forbidden=%d", c.Forbidden)
 		}

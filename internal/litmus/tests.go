@@ -161,6 +161,32 @@ func Tests() []*Test {
 			Forbidden: func(o Outcome) bool { return o.Final[0] != 6 },
 		},
 		{
+			Name:   "comb-fai",
+			Doc:    "two nodes fetch&add the same hot counter: with or without in-switch combining, the fetched values are a permutation of 0..3 in per-thread order",
+			Region: Plain, NLocs: 1, NOut: 4,
+			Threads: []Thread{
+				{{Op: FAI, Loc: 0, Out: 0}, {Op: FAI, Loc: 0, Out: 1}},
+				{{Op: FAI, Loc: 0, Out: 2}, {Op: FAI, Loc: 0, Out: 3}},
+			},
+			Stagger: []sim.Time{0, 100 * sim.Nanosecond},
+			Forbidden: func(o Outcome) bool {
+				if o.Final[0] != 4 {
+					return true
+				}
+				// Permutation-consistent sums: the four pre-values are
+				// distinct members of 0..3, and each thread's second fetch
+				// observes a larger counter than its first (program order).
+				var seen [4]bool
+				for _, r := range o.R {
+					if r >= 4 || seen[r] {
+						return true
+					}
+					seen[r] = true
+				}
+				return o.R[1] <= o.R[0] || o.R[3] <= o.R[2]
+			},
+		},
+		{
 			Name:   "atomic-swap",
 			Doc:    "fetch&store / compare&swap race: exactly one op fetches the initial value",
 			Region: Plain, NLocs: 1, NOut: 3,

@@ -15,6 +15,9 @@ func FuzzDecode(f *testing.F) {
 	f.Add(make([]byte, 64))
 	f.Add(Encode(&Packet{Type: WriteReq, Src: 1, Dst: 2, Addr: addrspace.NewGAddr(2, 0x100), Val: 42}))
 	f.Add(Encode(&Packet{Type: CopyData, Data: []uint64{1, 2, 3}, Last: true}))
+	f.Add(Encode(&Packet{Type: CombAddReq, Src: 3, Dst: 0, Addr: addrspace.NewGAddr(0, 0x40), Val: 5, ReqID: 1<<63 | 7}))
+	f.Add(Encode(&Packet{Type: BarrierArrive, Src: 2, Dst: 0, Addr: 1, Val: 4, Val2: 9}))
+	f.Add(Encode(&Packet{Type: ReduceResult, Src: 0, Dst: 1, Addr: 2, Val: 99, Val2: 3, Rop: ReduceMax}))
 	f.Fuzz(func(t *testing.T, buf []byte) {
 		p, err := Decode(buf)
 		if err != nil {
@@ -41,7 +44,7 @@ func FuzzEncodeDecode(f *testing.F) {
 		}
 		words %= 256 // keep payloads small
 		p := &Packet{
-			Type: Type(typ), Op: AtomicOp(op), Last: last,
+			Type: Type(typ), Op: AtomicOp(op), Rop: ReduceOp(op ^ 0xA5), Last: last,
 			Src: addrspace.NodeID(src), Dst: addrspace.NodeID(dst), Origin: addrspace.NodeID(origin),
 			Addr: addrspace.GAddr(addr), Addr2: addrspace.GAddr(addr2),
 			Val: val, Val2: val2, ReqID: reqID, Len: length,
@@ -65,7 +68,7 @@ func FuzzEncodeDecode(f *testing.F) {
 
 // packetsEqual compares every wire-carried field.
 func packetsEqual(a, b *Packet) bool {
-	if a.Type != b.Type || a.Op != b.Op || a.Last != b.Last || a.Hops != b.Hops ||
+	if a.Type != b.Type || a.Op != b.Op || a.Rop != b.Rop || a.Last != b.Last || a.Hops != b.Hops ||
 		a.Src != b.Src || a.Dst != b.Dst || a.Origin != b.Origin ||
 		a.Addr != b.Addr || a.Addr2 != b.Addr2 ||
 		a.Val != b.Val || a.Val2 != b.Val2 || a.ReqID != b.ReqID || a.Len != b.Len ||

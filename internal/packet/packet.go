@@ -60,6 +60,31 @@ const (
 	RingUpdate
 	// MsgData is a bulk message-passing payload of Len words.
 	MsgData
+	// CombAddReq is a combinable fetch-and-add: add Val to the word at
+	// Addr and return the previous value. Switches may merge concurrent
+	// CombAddReqs to the same Addr queued at one output port into a single
+	// request (NYU Ultracomputer combining) and de-combine the reply.
+	CombAddReq
+	// CombAddReply returns the fetched previous value for a CombAddReq.
+	// For a combined request it carries the base value; the combining
+	// switch splits it into per-constituent replies offset by each
+	// constituent's position in the merged sum.
+	CombAddReply
+	// BarrierArrive signals that Val participants below the sender have
+	// reached barrier Addr (a collective id, not a memory address) in
+	// round Val2. Switches on the spanning tree absorb arrivals and emit
+	// one combined arrival upward once their whole subtree has reported.
+	BarrierArrive
+	// BarrierRelease releases barrier Addr's round Val. The root emits a
+	// single release; each switch replicates it down every subtree port.
+	BarrierRelease
+	// ReduceReq carries one operand Val of an in-fabric reduction over
+	// collective Addr, round Val2, folded with Rop. Tree combining is
+	// identical to BarrierArrive with a value fold.
+	ReduceReq
+	// ReduceResult broadcasts the folded value Val of reduction Addr,
+	// round Val2, down the spanning tree.
+	ReduceResult
 	// numTypes bounds the valid Type values.
 	numTypes
 )
@@ -84,6 +109,12 @@ var typeNames = [...]string{
 	InvAck:         "InvAck",
 	RingUpdate:     "RingUpdate",
 	MsgData:        "MsgData",
+	CombAddReq:     "CombAddReq",
+	CombAddReply:   "CombAddReply",
+	BarrierArrive:  "BarrierArrive",
+	BarrierRelease: "BarrierRelease",
+	ReduceReq:      "ReduceReq",
+	ReduceResult:   "ReduceResult",
 }
 
 // String names the packet type.
@@ -118,6 +149,48 @@ func (op AtomicOp) String() string {
 	}
 }
 
+// ReduceOp selects the fold of an in-fabric reduction (ReduceReq).
+type ReduceOp uint8
+
+// The word-sized reduction folds the fabric implements.
+const (
+	ReduceSum ReduceOp = iota
+	ReduceMin
+	ReduceMax
+)
+
+// String names the reduction fold.
+func (op ReduceOp) String() string {
+	switch op {
+	case ReduceSum:
+		return "sum"
+	case ReduceMin:
+		return "min"
+	case ReduceMax:
+		return "max"
+	default:
+		return fmt.Sprintf("ReduceOp(%d)", uint8(op))
+	}
+}
+
+// Fold applies the reduction to two operands.
+func (op ReduceOp) Fold(a, b uint64) uint64 {
+	switch op {
+	case ReduceMin:
+		if b < a {
+			return b
+		}
+		return a
+	case ReduceMax:
+		if b > a {
+			return b
+		}
+		return a
+	default: // ReduceSum
+		return a + b
+	}
+}
+
 // VC is the virtual channel class a packet travels on. Requests and
 // replies use separate channels so request-reply dependency cycles cannot
 // deadlock the back-pressured fabric.
@@ -147,6 +220,7 @@ type Packet struct {
 	Val    uint64           // data word / operand
 	Val2   uint64           // second operand (compare-and-swap expected value)
 	Op     AtomicOp         // atomic op selector (AtomicReq)
+	Rop    ReduceOp         // reduction fold selector (ReduceReq/ReduceResult)
 	Origin addrspace.NodeID // originating writer (ReflectedWrite, RingUpdate)
 	ReqID  uint64           // request/reply pairing tag
 	Len    uint32           // word count (CopyReq, MsgData)
@@ -161,7 +235,8 @@ type Packet struct {
 // reply channel, everything else the request channel.
 func (p *Packet) Class() VC {
 	switch p.Type {
-	case WriteAck, ReadReply, AtomicReply, CopyData, InvAck:
+	case WriteAck, ReadReply, AtomicReply, CopyData, InvAck,
+		CombAddReply, BarrierRelease, ReduceResult:
 		return VCReply
 	default:
 		return VCRequest
@@ -194,7 +269,7 @@ func (p *Packet) String() string {
 
 // Encode serializes the packet into its wire frame (little-endian):
 //
-//	off  0: type(1) op(1) flags(1) pad(1) hops(4)
+//	off  0: type(1) op(1) flags(1) rop(1) hops(4)
 //	off  8: src(2) dst(2) origin(2) pad(2)
 //	off 16: addr(8) addr2(8)
 //	off 32: val(8) val2(8) reqid(8) len(4) nwords(4)
@@ -212,6 +287,7 @@ func Encode(p *Packet) []byte {
 		flags |= 1
 	}
 	buf[2] = flags
+	buf[3] = byte(p.Rop)
 	binary.LittleEndian.PutUint32(buf[4:], p.Hops)
 	binary.LittleEndian.PutUint16(buf[8:], uint16(p.Src))
 	binary.LittleEndian.PutUint16(buf[10:], uint16(p.Dst))
@@ -238,6 +314,7 @@ func Decode(buf []byte) (*Packet, error) {
 		Type:   Type(buf[0]),
 		Op:     AtomicOp(buf[1]),
 		Last:   buf[2]&1 != 0,
+		Rop:    ReduceOp(buf[3]),
 		Hops:   binary.LittleEndian.Uint32(buf[4:]),
 		Src:    addrspace.NodeID(binary.LittleEndian.Uint16(buf[8:])),
 		Dst:    addrspace.NodeID(binary.LittleEndian.Uint16(buf[10:])),

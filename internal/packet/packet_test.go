@@ -22,11 +22,38 @@ func TestTypeStrings(t *testing.T) {
 	if AtomicOp(9).String() != "AtomicOp(9)" {
 		t.Fatal("out-of-range atomic op name wrong")
 	}
+	if CombAddReq.String() != "CombAddReq" || BarrierRelease.String() != "BarrierRelease" {
+		t.Fatal("collective type names wrong")
+	}
+	if ReduceSum.String() != "sum" || ReduceMin.String() != "min" || ReduceMax.String() != "max" {
+		t.Fatal("reduce op names wrong")
+	}
+	if ReduceOp(7).String() != "ReduceOp(7)" {
+		t.Fatal("out-of-range reduce op name wrong")
+	}
+}
+
+func TestReduceFold(t *testing.T) {
+	cases := []struct {
+		op      ReduceOp
+		a, b, w uint64
+	}{
+		{ReduceSum, 3, 4, 7},
+		{ReduceMin, 3, 4, 3},
+		{ReduceMin, 9, 2, 2},
+		{ReduceMax, 3, 4, 4},
+		{ReduceMax, 9, 2, 9},
+	}
+	for _, c := range cases {
+		if got := c.op.Fold(c.a, c.b); got != c.w {
+			t.Errorf("%v.Fold(%d,%d) = %d, want %d", c.op, c.a, c.b, got, c.w)
+		}
+	}
 }
 
 func TestVirtualChannelClassification(t *testing.T) {
-	replies := []Type{WriteAck, ReadReply, AtomicReply, CopyData, InvAck}
-	requests := []Type{WriteReq, ReadReq, AtomicReq, CopyReq, UpdateFwd, ReflectedWrite, InvReq, RingUpdate, MsgData}
+	replies := []Type{WriteAck, ReadReply, AtomicReply, CopyData, InvAck, CombAddReply, BarrierRelease, ReduceResult}
+	requests := []Type{WriteReq, ReadReq, AtomicReq, CopyReq, UpdateFwd, ReflectedWrite, InvReq, RingUpdate, MsgData, CombAddReq, BarrierArrive, ReduceReq}
 	for _, ty := range replies {
 		if (&Packet{Type: ty}).Class() != VCReply {
 			t.Errorf("%v should ride the reply VC", ty)
@@ -94,6 +121,7 @@ func TestEncodeDecodeProperty(t *testing.T) {
 			Val:    val,
 			Val2:   val2,
 			Op:     AtomicOp(op % 3),
+			Rop:    ReduceOp(op % 3),
 			ReqID:  reqID,
 			Last:   last,
 			Hops:   hops,

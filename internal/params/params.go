@@ -107,10 +107,12 @@ type Config struct {
 	Sizing    Sizing
 	Link      link.Config
 	Switch    switchfab.Config
-	// Topology selects the fabric: "pair", "star" or "chain".
+	// Topology selects the fabric: "pair", "star", "chain" or "tree".
 	Topology string
 	// ChainPerSwitch is the nodes-per-switch for the chain topology.
 	ChainPerSwitch int
+	// TreeRadix is the switch fan-out for the tree topology.
+	TreeRadix int
 	// Shards is the number of parallel simulation shards the cluster is
 	// partitioned into (0 or 1 = classic sequential engine). Results are
 	// bit-identical across shard counts; shards only change wall-clock
@@ -190,5 +192,6 @@ func Default(n int) Config {
 		Switch:         switchfab.Config{RouteDelay: 100 * sim.Nanosecond},
 		Topology:       "star",
 		ChainPerSwitch: 4,
+		TreeRadix:      4,
 	}
 }

@@ -169,6 +169,11 @@ func (h *harness) checkDrain(vs *[]Violation) {
 	if q := h.c.Net.QueuedPackets(); q != 0 {
 		checkOne(vs, "drain", "%d packets still queued in the fabric", q)
 	}
+	for _, sw := range h.c.Net.Switches {
+		if p := sw.PendingCollective(); p != 0 {
+			checkOne(vs, "drain", "switch %s retains %d collective combine/merge records", sw.Name(), p)
+		}
+	}
 }
 
 // checkCoherence: every replica of the protocol page must equal the

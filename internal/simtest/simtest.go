@@ -34,11 +34,13 @@ import (
 
 	"telegraphos/internal/addrspace"
 	"telegraphos/internal/coherence"
+	"telegraphos/internal/collective"
 	"telegraphos/internal/core"
 	"telegraphos/internal/linearize"
 	"telegraphos/internal/link"
 	"telegraphos/internal/params"
 	"telegraphos/internal/sim"
+	"telegraphos/internal/switchfab"
 	"telegraphos/internal/trace"
 )
 
@@ -98,6 +100,11 @@ type Scenario struct {
 	CopyWords      int // words per remote-copy operation
 	Owner          int // owner of the replicated page
 	Copies         []int
+	// FabricSync replaces the host-side hot-counter barrier with the
+	// in-fabric (switch-resident) collective barrier.
+	FabricSync bool
+	// Combining enables in-switch fetch&add combining fabric-wide.
+	Combining bool
 }
 
 // String renders a one-line scenario summary.
@@ -107,8 +114,15 @@ func (sc *Scenario) String() string {
 		f = fmt.Sprintf("drop=%.0f%% dup=%.0f%% reorder=%.0f%% jitter=%v",
 			100*sc.Faults.DropProb, 100*sc.Faults.DupProb, 100*sc.Faults.ReorderProb, sc.Faults.JitterMax)
 	}
-	return fmt.Sprintf("seed=%d nodes=%d topo=%s mode=%v ops=%d barriers=%d [%s]",
-		sc.Seed, sc.Nodes, sc.Topology, sc.Mode, sc.OpsPerNode, sc.Barriers, f)
+	coll := ""
+	if sc.FabricSync {
+		coll += " fabric-sync"
+	}
+	if sc.Combining {
+		coll += " comb"
+	}
+	return fmt.Sprintf("seed=%d nodes=%d topo=%s mode=%v ops=%d barriers=%d%s [%s]",
+		sc.Seed, sc.Nodes, sc.Topology, sc.Mode, sc.OpsPerNode, sc.Barriers, coll, f)
 }
 
 // ScenarioFor expands seed into its scenario under opts.
@@ -162,6 +176,11 @@ func ScenarioFor(seed int64, opts Options) Scenario {
 	if len(sc.Copies) == 1 && sc.Nodes > 1 {
 		sc.Copies = append(sc.Copies, (sc.Owner+1)%sc.Nodes)
 	}
+	// In-network collectives. Drawn last — and unconditionally — so every
+	// earlier field keeps its draw order (and thus its value) across
+	// versions of this function.
+	sc.FabricSync = rng.Bool(0.5) && sc.Barriers > 0
+	sc.Combining = rng.Bool(0.4)
 	return sc
 }
 
@@ -193,6 +212,9 @@ type Result struct {
 	// Checkpointed reports whether the checkpoint/restore exercise ran
 	// (Options.Checkpoint requested it and a drain boundary arrived).
 	Checkpointed bool
+	// Collective sums the per-switch collective/combining counters
+	// (nonzero only when the scenario drew FabricSync or Combining).
+	Collective switchfab.CollectiveStats
 }
 
 // Failed reports whether any invariant was violated.
@@ -262,6 +284,7 @@ func Run(seed int64, opts Options) (*Result, error) {
 		res.SimTime = sim.Time(h.w.LastAt())
 	}
 	res.FaultStats = h.c.Net.FaultStats()
+	res.Collective = collective.FabricStats(h.c.Net)
 	res.PeakResident = h.w.MaxResident()
 	res.PeakWindow = h.olz.Stats().PeakWindow
 	res.Checkpointed = h.checkpointed

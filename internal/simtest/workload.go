@@ -5,15 +5,21 @@ import (
 
 	"telegraphos/internal/addrspace"
 	"telegraphos/internal/coherence"
+	"telegraphos/internal/collective"
 	"telegraphos/internal/core"
 	"telegraphos/internal/cpu"
 	"telegraphos/internal/params"
 	"telegraphos/internal/sim"
+	"telegraphos/internal/switchfab"
 	"telegraphos/internal/tsync"
 )
 
 // mcWords is the number of words exercised on the multicast page.
 const mcWords = 8
+
+// syncWaiter is one participant's barrier handle — satisfied by both the
+// host-side tsync.Waiter and the in-fabric collective.Waiter.
+type syncWaiter interface{ Wait(*cpu.Ctx) }
 
 // opKind enumerates the generated operations.
 type opKind int
@@ -166,9 +172,28 @@ func build(sc Scenario, opts Options) *harness {
 		h.dstVA[i] = viewVA{va: h.c.AllocShared(addrspace.NodeID(i), 8*sc.CopyWords), home: i}
 	}
 
-	var bar *tsync.Barrier
+	// In-network collectives: the fabric barrier is a drop-in for the
+	// host-side one, and combining transparently rewrites remote
+	// fetch&increments — the invariants must hold identically either way.
+	var coll *collective.Manager
+	if sc.FabricSync || sc.Combining {
+		coll = collective.New(h.c)
+	}
+	if sc.Combining {
+		coll.EnableCombining(switchfab.CombineConfig{})
+	}
+	var participant func() syncWaiter
 	if sc.Barriers > 0 {
-		bar = tsync.NewBarrier(h.c, addrspace.NodeID(layout.Intn(sc.Nodes)), sc.Nodes)
+		// The host-side barrier's home draw happens either way, so the
+		// layout stream is identical across the FabricSync arms.
+		barHome := addrspace.NodeID(layout.Intn(sc.Nodes))
+		if sc.FabricSync {
+			b := coll.NewBarrier()
+			participant = func() syncWaiter { return b.Participant() }
+		} else {
+			b := tsync.NewBarrier(h.c, barHome, sc.Nodes)
+			participant = func() syncWaiter { return b.Participant() }
+		}
 	}
 
 	h.perNode = make([]*nodeState, sc.Nodes)
@@ -176,9 +201,9 @@ func build(sc Scenario, opts Options) *harness {
 		h.perNode[i] = &nodeState{}
 		ops := h.genProgram(i, plainHome, mcHome)
 		h.tally(i, ops)
-		var w *tsync.Waiter
-		if bar != nil {
-			w = bar.Participant()
+		var w syncWaiter
+		if participant != nil {
+			w = participant()
 		}
 		i, ops, w := i, ops, w
 		h.c.Spawn(i, fmt.Sprintf("chaos%d", i), func(ctx *cpu.Ctx) {
@@ -319,7 +344,7 @@ func (h *harness) tally(i int, ops []op) {
 
 // runProgram executes node i's generated sequence, tracking issued writes
 // and fence completions for the invariant checkers.
-func (h *harness) runProgram(ctx *cpu.Ctx, i int, ops []op, w *tsync.Waiter) {
+func (h *harness) runProgram(ctx *cpu.Ctx, i int, ops []op, w syncWaiter) {
 	ns := h.perNode[i]
 	fence := func() {
 		ctx.Fence()

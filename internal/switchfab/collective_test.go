@@ -1,0 +1,79 @@
+package switchfab
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+func TestMergeSet(t *testing.T) {
+	var ms MergeSet
+	addends := []uint64{1, 1, 3, 0, 7}
+	wantOff := []uint64{0, 1, 2, 5, 5}
+	for i, a := range addends {
+		if off := ms.Add(a); off != wantOff[i] {
+			t.Errorf("Add(%d) offset = %d, want %d", a, off, wantOff[i])
+		}
+	}
+	if ms.Sum() != 12 {
+		t.Errorf("Sum = %d, want 12", ms.Sum())
+	}
+	got := ms.Split(100)
+	want := []uint64{100, 101, 102, 105, 105}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Split(100) = %v, want %v", got, want)
+			break
+		}
+	}
+}
+
+func TestMergeSetEmpty(t *testing.T) {
+	var ms MergeSet
+	if ms.Sum() != 0 || len(ms.Split(5)) != 0 {
+		t.Error("empty merge set must carry no constituents")
+	}
+}
+
+// FuzzMergeSplit checks the combining soundness property: merging k
+// fetch&add requests into one and splitting the single reply must hand
+// every constituent exactly the pre-value it would have fetched had the
+// k requests been applied sequentially, in merge order, at the home.
+func FuzzMergeSplit(f *testing.F) {
+	f.Add(uint64(7), []byte{1, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0})
+	f.Add(uint64(0), []byte{5})
+	f.Add(^uint64(0), []byte{255, 255, 255, 255, 255, 255, 255, 255, 3})
+	f.Fuzz(func(t *testing.T, base uint64, raw []byte) {
+		var addends []uint64
+		for len(raw) >= 8 && len(addends) < 64 {
+			addends = append(addends, binary.LittleEndian.Uint64(raw[:8]))
+			raw = raw[8:]
+		}
+		if len(raw) > 0 && len(addends) < 64 {
+			addends = append(addends, uint64(raw[0]))
+		}
+		var ms MergeSet
+		for _, a := range addends {
+			ms.Add(a)
+		}
+		// Sequential reference: apply the same FAAs one at a time.
+		counter := base
+		var seq []uint64
+		for _, a := range addends {
+			seq = append(seq, counter)
+			counter += a
+		}
+		if base+ms.Sum() != counter {
+			t.Fatalf("merged sum: home ends at %d, sequential at %d", base+ms.Sum(), counter)
+		}
+		got := ms.Split(base)
+		if len(got) != len(seq) {
+			t.Fatalf("Split returned %d replies for %d constituents", len(got), len(seq))
+		}
+		for i := range seq {
+			if got[i] != seq[i] {
+				t.Fatalf("constituent %d: merged reply %d, sequential %d (addends %v, base %d)",
+					i, got[i], seq[i], addends, base)
+			}
+		}
+	})
+}

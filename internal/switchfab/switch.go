@@ -50,6 +50,10 @@ type Switch struct {
 	routes  []int16
 	started bool
 
+	// coll is the in-network collective engine (nil unless a collective
+	// group or combining was enabled); see collective.go.
+	coll *collState
+
 	forwarded int64
 	misroutes int64
 }
@@ -61,6 +65,10 @@ func New(eng *sim.Engine, name string, cfg Config) *Switch {
 
 // Name returns the switch's diagnostic name.
 func (s *Switch) Name() string { return s.name }
+
+// Engine returns the engine the switch's pipelines run on (topology
+// builders attach cross-engine links against it).
+func (s *Switch) Engine() *sim.Engine { return s.eng }
 
 // NumPorts reports the number of attached ports.
 func (s *Switch) NumPorts() int { return len(s.in) }
@@ -133,6 +141,11 @@ func (pp *portPipe) intake() {
 		pkt, ok := pp.in.TryRecv(pp.vc)
 		if !ok {
 			return
+		}
+		if cs := pp.sw.coll; cs != nil && cs.intercept(pkt) {
+			// Absorbed by the collective engine (combined, de-combined,
+			// or replicated); it never enters the forwarding pipeline.
+			continue
 		}
 		if _, ok := pp.sw.Route(pkt.Dst); !ok {
 			// A misroute is a fabric configuration bug; count it and drop

@@ -7,7 +7,9 @@
 //
 //   - Pair: two nodes connected back-to-back (the §3.2 testbed);
 //   - Star: every node on one switch;
-//   - Chain: several switches in a line, k nodes per switch.
+//   - Chain: several switches in a line, k nodes per switch;
+//   - Tree: a radix-ary tree of switches, nodes at the leaves — the
+//     natural fabric for in-network collectives at 64–1024 nodes.
 //
 // All produced topologies are cycle-free, so combined with the two
 // virtual channels of the link layer the fabric is deadlock-free.
@@ -37,7 +39,7 @@ type Network struct {
 // NumNodes reports the number of attached nodes.
 func (n *Network) NumNodes() int { return len(n.toNet) }
 
-// Kind names the topology ("pair", "star", "chain").
+// Kind names the topology ("pair", "star", "chain", "tree").
 func (n *Network) Kind() string { return n.kind }
 
 // Send injects pkt into the fabric at its source node. It blocks the
@@ -237,4 +239,192 @@ func BuildChainOn(a Assign, nnodes, perSwitch int, lcfg link.Config, scfg switch
 		sw.Start()
 	}
 	return n
+}
+
+// BuildTree places nnodes nodes at the leaves of a radix-ary tree of
+// switches: ceil(n/radix) leaf switches with radix nodes each, then
+// levels of ceil(prev/radix) switches until a single root switch. With
+// radix 4 a 1024-node fabric is 5 switch levels deep, so collective
+// traffic crosses O(log N) hops instead of the chain's O(N).
+func BuildTree(eng *sim.Engine, nnodes, radix int, lcfg link.Config, scfg switchfab.Config) *Network {
+	return BuildTreeOn(SingleEngine(eng), nnodes, radix, lcfg, scfg)
+}
+
+// treeLevels reports the per-level switch counts of a radix-ary tree
+// over nnodes nodes: leaves first, one root switch last.
+func treeLevels(nnodes, radix int) []int {
+	counts := []int{(nnodes + radix - 1) / radix}
+	for counts[len(counts)-1] > 1 {
+		prev := counts[len(counts)-1]
+		counts = append(counts, (prev+radix-1)/radix)
+	}
+	return counts
+}
+
+// TreeAnchor reports the first node covered by global switch s of a
+// radix-ary tree over nnodes nodes (level-major numbering: all leaf
+// switches first, then each upper level, root last). Shard assigners
+// use it to co-locate every switch with its subtree's first node.
+func TreeAnchor(nnodes, radix, s int) int {
+	if radix < 2 {
+		radix = 2
+	}
+	span := radix // nodes covered per switch at the current level
+	for _, cnt := range treeLevels(nnodes, radix) {
+		if s < cnt {
+			first := s * span
+			if first >= nnodes {
+				first = nnodes - 1
+			}
+			return first
+		}
+		s -= cnt
+		span *= radix
+	}
+	return 0
+}
+
+// BuildTreeOn is BuildTree with an explicit engine assignment; switch
+// engines are assigned level-major (see TreeAnchor).
+func BuildTreeOn(a Assign, nnodes, radix int, lcfg link.Config, scfg switchfab.Config) *Network {
+	if nnodes < 1 || radix < 2 {
+		panic("topology: tree needs nodes >= 1 and radix >= 2")
+	}
+	counts := treeLevels(nnodes, radix)
+	nlv := len(counts)
+
+	// Switches, level-major.
+	sws := make([][]*switchfab.Switch, nlv)
+	global := 0
+	for l := 0; l < nlv; l++ {
+		sws[l] = make([]*switchfab.Switch, counts[l])
+		for i := range sws[l] {
+			sws[l][i] = switchfab.New(a.Switch(global), fmt.Sprintf("sw%d.%d", l, i), scfg)
+			global++
+		}
+	}
+
+	n := &Network{eng: a.Node(0), kind: "tree"}
+	for l := 0; l < nlv; l++ {
+		n.Switches = append(n.Switches, sws[l]...)
+	}
+
+	// Node links to leaf switches.
+	nodePort := make([]int, nnodes)
+	for i := 0; i < nnodes; i++ {
+		s := i / radix
+		ne, se := a.Node(i), sws[0][s].Engine()
+		up := link.NewCross(ne, se, fmt.Sprintf("n%d->sw0.%d", i, s), lcfg)
+		down := link.NewCross(se, ne, fmt.Sprintf("sw0.%d->n%d", s, i), lcfg)
+		nodePort[i] = sws[0][s].AttachPort(up, down)
+		n.toNet = append(n.toNet, up)
+		n.fromNet = append(n.fromNet, down)
+		n.links = append(n.links, up, down)
+	}
+
+	// Trunks: child (l, c) to parent (l+1, c/radix).
+	upPort := make([][]int, nlv)   // child's port toward its parent
+	downPort := make([][]int, nlv) // parent's port toward child c, indexed by c
+	for l := 0; l < nlv; l++ {
+		upPort[l] = make([]int, counts[l])
+		downPort[l] = make([]int, counts[l])
+	}
+	for l := 0; l < nlv-1; l++ {
+		for c := 0; c < counts[l]; c++ {
+			p := c / radix
+			ce, pe := sws[l][c].Engine(), sws[l+1][p].Engine()
+			cp := link.NewCross(ce, pe, fmt.Sprintf("sw%d.%d->sw%d.%d", l, c, l+1, p), lcfg)
+			pc := link.NewCross(pe, ce, fmt.Sprintf("sw%d.%d->sw%d.%d", l+1, p, l, c), lcfg)
+			upPort[l][c] = sws[l][c].AttachPort(pc, cp)
+			downPort[l][c] = sws[l+1][p].AttachPort(cp, pc)
+			n.links = append(n.links, cp, pc)
+		}
+	}
+
+	// Deterministic routing: down toward the child subtree that covers
+	// the destination, else up toward the root.
+	span := radix // nodes covered per switch at the current level
+	for l := 0; l < nlv; l++ {
+		for s := 0; s < counts[l]; s++ {
+			lo, hi := s*span, (s+1)*span
+			for i := 0; i < nnodes; i++ {
+				switch {
+				case i >= lo && i < hi && l == 0:
+					sws[l][s].SetRoute(addrspace.NodeID(i), nodePort[i])
+				case i >= lo && i < hi:
+					child := i / (span / radix)
+					sws[l][s].SetRoute(addrspace.NodeID(i), downPort[l-1][child])
+				default:
+					sws[l][s].SetRoute(addrspace.NodeID(i), upPort[l][s])
+				}
+			}
+		}
+		span *= radix
+	}
+	for _, sw := range n.Switches {
+		sw.Start()
+	}
+	return n
+}
+
+// SwitchTree pairs a switch with its role in one collective spanning
+// tree (see Network.SpanningTree).
+type SwitchTree struct {
+	Switch *switchfab.Switch
+	Plan   switchfab.TreePlan
+}
+
+// SpanningTree derives each switch's role in the collective spanning
+// tree for root and participants, purely from the routing tables: a
+// participant p is in switch s's subtree exactly when s routes p away
+// from the root's direction (the topologies are cycle-free, so "not
+// toward the root" is "strictly below s"). Switches with an empty
+// subtree are omitted — no collective traffic can reach them. The
+// construction is deterministic: legs come out in ascending port order
+// and representatives are the smallest participant behind each port.
+func (n *Network) SpanningTree(root addrspace.NodeID, participants []addrspace.NodeID) []SwitchTree {
+	var out []SwitchTree
+	for _, sw := range n.Switches {
+		up, ok := sw.Route(root)
+		if !ok {
+			panic(fmt.Sprintf("topology: switch %s has no route to collective root %v", sw.Name(), root))
+		}
+		// legRep[port] is the smallest participant behind port (-1: none).
+		legRep := make([]int, sw.NumPorts())
+		for i := range legRep {
+			legRep[i] = -1
+		}
+		expect := 0
+		rep := -1
+		for _, p := range participants {
+			if p == root {
+				continue
+			}
+			port, ok := sw.Route(p)
+			if !ok {
+				panic(fmt.Sprintf("topology: switch %s has no route to participant %v", sw.Name(), p))
+			}
+			if port == up {
+				continue // p is above s, not in its subtree
+			}
+			expect++
+			if legRep[port] < 0 || int(p) < legRep[port] {
+				legRep[port] = int(p)
+			}
+			if rep < 0 || int(p) < rep {
+				rep = int(p)
+			}
+		}
+		if expect == 0 {
+			continue
+		}
+		plan := switchfab.TreePlan{UpPort: up, Expect: expect, Rep: addrspace.NodeID(rep)}
+		for port, r := range legRep {
+			if r >= 0 {
+				plan.Legs = append(plan.Legs, switchfab.DownLeg{Port: port, Rep: addrspace.NodeID(r)})
+			}
+		}
+		out = append(out, SwitchTree{Switch: sw, Plan: plan})
+	}
+	return out
 }

@@ -85,6 +85,13 @@ const (
 	// BOpPageIn is a DSM page transfer driven by a fault (read or write
 	// fault service; Val carries the fault access mode).
 	BOpPageIn
+	// BOpBarrier is an in-fabric barrier episode (arrive→release). It is
+	// a synchronization boundary, not a memory operation: the
+	// linearizability checker skips it.
+	BOpBarrier
+	// BOpReduce is an in-fabric reduction episode; like BOpBarrier it is
+	// observability-only and skipped by the memory-model checkers.
+	BOpReduce
 )
 
 var boundaryNames = map[BoundaryOp]string{
@@ -94,6 +101,8 @@ var boundaryNames = map[BoundaryOp]string{
 	BOpFetchStore:  "fetch&store",
 	BOpCompareSwap: "compare&swap",
 	BOpPageIn:      "page-in",
+	BOpBarrier:     "barrier",
+	BOpReduce:      "reduce",
 }
 
 // String names the boundary op.

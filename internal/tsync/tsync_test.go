@@ -3,6 +3,7 @@ package tsync
 import (
 	"testing"
 
+	"telegraphos/internal/collective"
 	"telegraphos/internal/core"
 	"telegraphos/internal/cpu"
 	"telegraphos/internal/params"
@@ -126,5 +127,49 @@ func TestBarrierPublishesWrites(t *testing.T) {
 	}
 	if got != 31337 {
 		t.Fatalf("consumer read %d after barrier, want 31337", got)
+	}
+}
+
+// TestFabricBarrier exercises the drop-in in-fabric barrier through the
+// same rendezvous and publish scenarios as the host-side one.
+func TestFabricBarrier(t *testing.T) {
+	const n = 4
+	c := cluster(n)
+	m := collective.New(c)
+	b := NewFabricBarrier(c, m)
+	if b.N() != n {
+		t.Fatalf("fabric barrier N = %d, want %d", b.N(), n)
+	}
+	data := c.AllocShared(0, 8)
+	var phase [n]int
+	var got uint64
+	for i := 0; i < n; i++ {
+		i := i
+		w := b.Participant()
+		c.Spawn(i, "p", func(ctx *cpu.Ctx) {
+			for round := 0; round < 3; round++ {
+				ctx.Compute(cpuTime(i, round))
+				if i == 0 && round == 0 {
+					ctx.Store(data, 777) // published by the embedded fence
+				}
+				phase[i] = round + 1
+				w.Wait(ctx)
+				if i == n-1 && round == 0 {
+					got = ctx.Load(data)
+				}
+				for j := 0; j < n; j++ {
+					if phase[j] < round+1 {
+						t.Errorf("round %d: node %d proceeded while node %d at phase %d", round, i, j, phase[j])
+					}
+				}
+				w.Wait(ctx) // hold until the checks above ran on every node
+			}
+		})
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 777 {
+		t.Fatalf("read %d after fabric barrier, want 777", got)
 	}
 }

@@ -57,9 +57,17 @@ go test ./internal/experiments -run '^$' -bench BenchmarkPDESThroughputFloor -be
 echo '== tgchaos 2-shard smoke'
 go run ./cmd/tgchaos -seeds 10 -shards 2
 
+# In-network collective smoke (DESIGN.md §16): E15 runs the 64-node
+# in-fabric vs host-side barrier comparison and checks that a 64-node
+# hot-counter fetch&add stream reaches the same final count with
+# switch-level combining as without it.
+echo '== collectives smoke (E15)'
+go run ./cmd/tgbench -exp E15 >/dev/null
+
 # Memory-model conformance: the trimmed litmus matrix must be free of
 # linearizability/fence violations and must still reproduce the
-# Galactica baseline's §2.4 anomaly.
+# Galactica baseline's §2.4 anomaly. The quick sweep includes the
+# combining-enabled arms of every fetch&inc test.
 echo '== tglitmus quick sweep'
 go run ./cmd/tglitmus -quick
 
@@ -87,5 +95,6 @@ check_cover internal/linearize 85
 check_cover internal/litmus 75
 check_cover internal/consistency 90
 check_cover internal/analysis 80
+check_cover internal/collective 80
 
 echo 'tier-1: all checks passed'
