@@ -55,3 +55,4 @@ fuzz:
 	$(GO) test ./internal/linearize -fuzz FuzzLinearize -fuzztime 15s
 	$(GO) test ./internal/consistency -fuzz FuzzCoherent -fuzztime 15s
 	$(GO) test ./internal/switchfab -fuzz FuzzMergeSplit -fuzztime 10s
+	$(GO) test ./internal/topology -fuzz FuzzRoute -fuzztime 15s

@@ -21,6 +21,11 @@
 //	tgbench -collscale               # paper-scale E15 barrier sweep:
 //	                                 # host-side vs in-fabric, 64-1024
 //	                                 # nodes (EXPERIMENTS.md table)
+//	tgbench -topo -out BENCH_topo.json
+//	                                 # E16 topology-zoo sweep: every
+//	                                 # generated fabric × 16/64/256 nodes
+//	                                 # × 1/4 cores per node, read RTT and
+//	                                 # adversarial-permutation completion
 package main
 
 import (
@@ -41,7 +46,8 @@ func main() {
 	perMsg := flag.Bool("permsg", false, "legacy per-message barrier delivery instead of batched hand-off (results are invariant; only wall time changes)")
 	pdes := flag.Bool("pdes", false, "run the PDES node×shard scaling sweep instead of the experiments")
 	collScale := flag.Bool("collscale", false, "run the paper-scale E15 barrier sweep (host-side vs in-fabric, 64-1024 nodes) instead of the experiments")
-	out := flag.String("out", "", "with -pdes: also write the sweep report as JSON to this file (plus the throughput floor as <file>.floor)")
+	topo := flag.Bool("topo", false, "run the E16 topology-zoo sweep (fabrics × 16/64/256 nodes × 1/4 cores) instead of the experiments")
+	out := flag.String("out", "", "with -pdes or -topo: also write the sweep report as JSON to this file (-pdes adds the throughput floor as <file>.floor)")
 	traceWindow := flag.Int("trace-window", 0, "with -pdes: attach the streaming trace pipeline with this per-node ring capacity (0 = untraced); the report then includes the shard-invariant fingerprint and peak trace residency")
 	flag.Parse()
 
@@ -54,6 +60,33 @@ func main() {
 		host, fabric := experiments.E15Scale([]int{64, 128, 256, 512, 1024}, 1)
 		fmt.Print(host.Format())
 		fmt.Print(fabric.Format())
+		return
+	}
+
+	if *topo {
+		points := experiments.E16Sweep(
+			experiments.E16Topos,
+			[]int{16, 64, 256},
+			[]int{1, 4},
+			4,
+		)
+		fmt.Print(experiments.FormatTopo(points))
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tgbench: %v\n", err)
+				os.Exit(1)
+			}
+			if err := experiments.WriteTopoJSON(f, points); err != nil {
+				fmt.Fprintf(os.Stderr, "tgbench: %v\n", err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "tgbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *out)
+		}
 		return
 	}
 

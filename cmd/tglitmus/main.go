@@ -12,6 +12,9 @@
 //	tglitmus -quick            # trimmed matrix (the tier-1 gate)
 //	tglitmus -tests SB,MP      # only the named tests
 //	tglitmus -seed 7 -v        # different seeds, per-run verdict lines
+//	tglitmus -topo             # topology axis: every test × generated
+//	                           # fabric (torus/fat-tree/dragonfly) at
+//	                           # 16–64 nodes × protocol × shard count
 //
 // Exit status 1 on any conformance violation or if a required anomaly
 // witness never appeared.
@@ -31,6 +34,7 @@ func main() {
 	tests := flag.String("tests", "", "comma-separated test names (default all)")
 	seed := flag.Int64("seed", 1, "base simulation seed")
 	verbose := flag.Bool("v", false, "print one line per run")
+	topo := flag.Bool("topo", false, "sweep the topology axis: generated fabrics at 16–64 nodes")
 	flag.Parse()
 
 	opts := litmus.SweepOptions{Quick: *quick, Seed: *seed, Verbose: *verbose, Out: os.Stdout}
@@ -41,7 +45,12 @@ func main() {
 		}
 	}
 
-	res := litmus.Sweep(opts)
+	var res *litmus.SweepResult
+	if *topo {
+		res = litmus.SweepTopo(opts)
+	} else {
+		res = litmus.Sweep(opts)
+	}
 	res.Report(os.Stdout)
 	if res.Failed() {
 		fmt.Println("FAIL")

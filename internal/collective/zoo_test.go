@@ -1,0 +1,155 @@
+package collective
+
+// In-network collectives over the generated topology zoo. The spanning
+// trees come from walking the routing tables (topology.SpanningTree),
+// so these tests prove the derivation is sound on cyclic fabrics —
+// torus rings, dragonfly group graphs — not just on trees: barriers
+// release nobody early, reductions fold every contribution exactly
+// once, and the switches retire all collective state at quiescence.
+
+import (
+	"testing"
+
+	"telegraphos/internal/addrspace"
+	"telegraphos/internal/core"
+	"telegraphos/internal/cpu"
+	"telegraphos/internal/packet"
+	"telegraphos/internal/params"
+)
+
+func zooTopos() []struct {
+	topo string
+	n    int
+} {
+	return []struct {
+		topo string
+		n    int
+	}{
+		{"torus2d", 16},
+		{"torus3d", 24},
+		{"fattree", 16},
+		{"dragonfly", 16},
+		{"dragonfly-val", 16},
+	}
+}
+
+func TestBarrierGeneratedShapes(t *testing.T) {
+	for _, tc := range zooTopos() {
+		tc := tc
+		t.Run(tc.topo, func(t *testing.T) {
+			c := cluster(tc.n, tc.topo)
+			checkBarrier(t, c, New(c).NewBarrier(), 2)
+			st := FabricStats(c.Net)
+			if st.Arrivals == 0 || st.BarrierRounds == 0 || st.Releases == 0 {
+				t.Errorf("%s fabric saw no collective work: %+v", tc.topo, st)
+			}
+			if st.FanoutMax < 2 {
+				t.Errorf("%s multicast fanout max = %d, want >= 2", tc.topo, st.FanoutMax)
+			}
+		})
+	}
+}
+
+func TestReduceGeneratedShapes(t *testing.T) {
+	for _, tc := range zooTopos() {
+		tc := tc
+		t.Run(tc.topo, func(t *testing.T) {
+			c := cluster(tc.n, tc.topo)
+			r := New(c).NewReducer()
+			n := c.N()
+			got := make([]uint64, n)
+			for i := 0; i < n; i++ {
+				i := i
+				c.Spawn(i, "p", func(ctx *cpu.Ctx) {
+					got[i] = r.Reduce(ctx, packet.ReduceSum, uint64(i+1))
+				})
+			}
+			if err := c.Run(); err != nil {
+				t.Fatal(err)
+			}
+			want := uint64(n * (n + 1) / 2)
+			for i := 0; i < n; i++ {
+				if got[i] != want {
+					t.Errorf("node %d sum = %d, want %d", i, got[i], want)
+				}
+			}
+			st := FabricStats(c.Net)
+			if st.ReduceRounds == 0 {
+				t.Errorf("%s: reduction never folded in-fabric: %+v", tc.topo, st)
+			}
+			for _, sw := range c.Net.Switches {
+				if sw.PendingCollective() != 0 {
+					t.Errorf("switch %s retains collective state after quiesce", sw.Name())
+				}
+			}
+		})
+	}
+}
+
+// TestBarrierSubsetTorus exercises the walk-derived spanning tree with a
+// sparse participant set on a cyclic fabric: only the torus corners
+// synchronize, the rest of the machine stays silent.
+func TestBarrierSubsetTorus(t *testing.T) {
+	c := cluster(16, "torus2d") // 4x4: corners are 0, 3, 12, 15
+	m := New(c)
+	parts := []addrspace.NodeID{0, 3, 12, 15}
+	b := m.NewBarrier(parts...)
+	phase := make([]int, 16)
+	for _, i := range parts {
+		i := int(i)
+		w := b.Participant()
+		c.Spawn(i, "p", func(ctx *cpu.Ctx) {
+			for r := 1; r <= 3; r++ {
+				phase[i] = r
+				w.Wait(ctx)
+				for _, j := range parts {
+					if phase[j] < r {
+						t.Errorf("round %d: node %d released before node %v arrived", r, i, j)
+					}
+				}
+				w.Wait(ctx)
+			}
+		})
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMulticoreReduceOnTorus runs a fabric reduction on a multi-core
+// torus cluster: core 0 of each node contributes while core 1 streams
+// remote writes through the same board, so the collective competes with
+// bulk traffic for the one HIB and must still fold exactly once per
+// node.
+func TestMulticoreReduceOnTorus(t *testing.T) {
+	cfg := params.Default(16)
+	cfg.Topology = "torus2d"
+	cfg.CoresPerNode = 2
+	cfg.Sizing.MemBytes = 1 << 18
+	c := core.New(cfg)
+	r := New(c).NewReducer()
+	n := c.N()
+	base := c.AllocShared(0, 8*n)
+	got := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		i := i
+		c.Spawn(i, "p", func(ctx *cpu.Ctx) {
+			got[i] = r.Reduce(ctx, packet.ReduceSum, uint64(i+1))
+		})
+		c.SpawnCore(i, 1, "noise", func(ctx *cpu.Ctx) {
+			for k := 0; k < 50; k++ {
+				ctx.Store(base+addrspace.VAddr(8*i), uint64(k))
+			}
+			ctx.Fence()
+		})
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(n * (n + 1) / 2)
+	for i := 0; i < n; i++ {
+		if got[i] != want {
+			t.Errorf("node %d sum = %d, want %d", i, got[i], want)
+		}
+	}
+}

@@ -39,12 +39,17 @@ const (
 type Node struct {
 	ID  addrspace.NodeID
 	Eng *sim.Engine // the shard this node's components run on
-	CPU *cpu.CPU
-	HIB *hib.HIB
-	OS  *osmodel.OS
-	MMU *mmu.MMU
-	Mem *mem.Memory
-	Bus *tchan.Bus
+	CPU *cpu.CPU    // core 0 (the only core on single-core nodes)
+	// CPUs lists every core. All cores share the node's MMU, memory, OS
+	// and HIB: they contend for the one TurboChannel bus and the board's
+	// finite write queue, and each runs programs under its own
+	// Telegraphos context.
+	CPUs []*cpu.CPU
+	HIB  *hib.HIB
+	OS   *osmodel.OS
+	MMU  *mmu.MMU
+	Mem  *mem.Memory
+	Bus  *tchan.Bus
 }
 
 // Cluster is a built Telegraphos machine.
@@ -84,6 +89,12 @@ func New(cfg params.Config) *Cluster {
 			return nodeEng(s * cfg.ChainPerSwitch)
 		case "tree":
 			return nodeEng(topology.TreeAnchor(cfg.Nodes, cfg.TreeRadix, s))
+		case "torus2d", "torus3d":
+			return nodeEng(s) // one switch per node, co-located
+		case "fattree":
+			return nodeEng(topology.FatTreeAnchor(cfg.Nodes, s))
+		case "dragonfly", "dragonfly-val":
+			return nodeEng(topology.DragonflyAnchor(cfg.Nodes, s))
 		}
 		return g.Shard(0)
 	}
@@ -102,6 +113,16 @@ func New(cfg params.Config) *Cluster {
 		net = topology.BuildChainOn(assign, cfg.Nodes, cfg.ChainPerSwitch, cfg.Link, cfg.Switch)
 	case "tree":
 		net = topology.BuildTreeOn(assign, cfg.Nodes, cfg.TreeRadix, cfg.Link, cfg.Switch)
+	case "torus2d":
+		net = topology.BuildTorusOn(assign, topology.TorusDims(cfg.Nodes, 2), cfg.Link, cfg.Switch)
+	case "torus3d":
+		net = topology.BuildTorusOn(assign, topology.TorusDims(cfg.Nodes, 3), cfg.Link, cfg.Switch)
+	case "fattree":
+		net = topology.BuildFatTreeOn(assign, cfg.Nodes, cfg.Link, cfg.Switch)
+	case "dragonfly":
+		net = topology.BuildDragonflyOn(assign, cfg.Nodes, false, cfg.Link, cfg.Switch)
+	case "dragonfly-val":
+		net = topology.BuildDragonflyOn(assign, cfg.Nodes, true, cfg.Link, cfg.Switch)
 	default:
 		panic(fmt.Sprintf("core: unknown topology %q", cfg.Topology))
 	}
@@ -114,6 +135,10 @@ func New(cfg params.Config) *Cluster {
 		privNext:   make([]uint64, cfg.Nodes),
 		sharedHome: make(map[addrspace.PageNum]addrspace.NodeID),
 	}
+	cores := cfg.CoresPerNode
+	if cores < 1 {
+		cores = 1
+	}
 	for i := 0; i < cfg.Nodes; i++ {
 		id := addrspace.NodeID(i)
 		eng := nodeEng(i)
@@ -122,15 +147,21 @@ func New(cfg params.Config) *Cluster {
 		bus := tchan.New(eng)
 		mm := mmu.New(cfg.Sizing.PageSize, cfg.Sizing.TLBEntries, cfg.Timing.TLBMissCost)
 		h := hib.New(eng, id, net, bus, m, nodeOS, cfg)
-		pr := cpu.New(eng, id, mm, m, nodeOS, h, cfg.Timing)
-		// The runtime allocates one Telegraphos context per program.
-		key := 0xC0DE0000 + uint64(i)
-		ctxID, err := h.AllocContext(key)
-		if err != nil {
-			panic(err)
+		nd := &Node{ID: id, Eng: eng, HIB: h, OS: nodeOS, MMU: mm, Mem: m, Bus: bus}
+		for co := 0; co < cores; co++ {
+			pr := cpu.New(eng, id, mm, m, nodeOS, h, cfg.Timing)
+			// The runtime allocates one Telegraphos context per core's
+			// program (core 0 keeps the historical key).
+			key := 0xC0DE0000 + uint64(i) + uint64(co)<<32
+			ctxID, err := h.AllocContext(key)
+			if err != nil {
+				panic(err)
+			}
+			pr.CtxID, pr.Key = ctxID, key
+			nd.CPUs = append(nd.CPUs, pr)
 		}
-		pr.CtxID, pr.Key = ctxID, key
-		c.Nodes = append(c.Nodes, &Node{ID: id, Eng: eng, CPU: pr, HIB: h, OS: nodeOS, MMU: mm, Mem: m, Bus: bus})
+		nd.CPU = nd.CPUs[0]
+		c.Nodes = append(c.Nodes, nd)
 		c.privNext[i] = uint64(cfg.Sizing.MemBytes) / 2
 	}
 	return c
@@ -151,9 +182,19 @@ func (c *Cluster) Run() error { return c.Group.Run() }
 // RunUntil drives the simulation to the deadline.
 func (c *Cluster) RunUntil(t sim.Time) error { return c.Group.RunUntil(t) }
 
-// Spawn starts prog on node's CPU.
+// Spawn starts prog on node's core 0.
 func (c *Cluster) Spawn(node int, name string, prog func(*cpu.Ctx)) *sim.Proc {
 	return c.Nodes[node].CPU.Spawn(name, prog)
+}
+
+// Cores reports the number of CPU cores per node.
+func (c *Cluster) Cores() int { return len(c.Nodes[0].CPUs) }
+
+// SpawnCore starts prog on the given core of node. Cores share the
+// node's one HIB, so their remote traffic contends for the TurboChannel
+// and the board's write queue.
+func (c *Cluster) SpawnCore(node, core int, name string, prog func(*cpu.Ctx)) *sim.Proc {
+	return c.Nodes[node].CPUs[core].Spawn(name, prog)
 }
 
 // AllocShared reserves bytes (rounded up to whole pages) in the shared

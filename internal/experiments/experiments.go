@@ -155,6 +155,7 @@ var registry = map[string]Runner{
 	"E13": E13SwitchLoad,
 	"E14": E14LaunchCost,
 	"E15": E15InFabricCollectives,
+	"E16": E16TopologyZoo,
 }
 
 // IDs lists experiment identifiers in order.

@@ -26,10 +26,10 @@ func TestEveryExperimentMatchesPaperShape(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 15 {
-		t.Fatalf("registry holds %d experiments, want 15", len(ids))
+	if len(ids) != 16 {
+		t.Fatalf("registry holds %d experiments, want 16", len(ids))
 	}
-	if ids[0] != "E1" || ids[14] != "E15" {
+	if ids[0] != "E1" || ids[15] != "E16" {
 		t.Fatalf("ordering wrong: %v", ids)
 	}
 	if Get("E99") != nil {

@@ -356,8 +356,16 @@ func (h *HIB) rxDone(vc packet.VC) {
 	h.rxPump(vc)
 }
 
-// post enqueues an HIB-generated packet for transmission.
+// post enqueues an HIB-generated packet for transmission. A packet
+// addressed to this very node never reaches the wire: the board's
+// internal loopback path services it directly (the intra-node fast
+// path multi-core nodes lean on — cores of one workstation exchange
+// messages without crossing the fabric).
 func (h *HIB) post(pkt *packet.Packet) {
+	if pkt.Dst == h.node {
+		h.deliverLocal(pkt)
+		return
+	}
 	vc := pkt.Class()
 	h.outQ[vc] = append(h.outQ[vc], outItem{pkt: pkt})
 	h.txPump(vc)
@@ -373,8 +381,13 @@ func (h *HIB) Post(p *sim.Proc, pkt *packet.Packet) {
 
 // postCPU enqueues a CPU-originated packet, blocking p for a write-queue
 // credit: this is the board's finite outgoing FIFO back-pressuring the
-// TurboChannel.
+// TurboChannel. Self-addressed packets take the loopback fast path and
+// skip the credit — they never occupy the outgoing FIFO.
 func (h *HIB) postCPU(p *sim.Proc, pkt *packet.Packet) {
+	if pkt.Dst == h.node {
+		h.deliverLocal(pkt)
+		return
+	}
 	h.cpuCredits.Acquire(p)
 	vc := pkt.Class()
 	h.outQ[vc] = append(h.outQ[vc], outItem{pkt: pkt, fromCPU: true})

@@ -182,7 +182,7 @@ func (l *Link) transferTime(pkt *packet.Packet) sim.Time {
 // restores that order and delivers exactly once despite drops,
 // duplicates, and reordering on the wire.
 func (l *Link) SendEv(pkt *packet.Packet, onClear func()) {
-	vc := pkt.Class()
+	vc := pkt.Channel()
 	if l.credits[vc] > 0 && len(l.sendq[vc]) == 0 {
 		l.launch(vc, pkt, onClear)
 		return

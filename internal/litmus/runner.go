@@ -66,6 +66,16 @@ type Config struct {
 	// SimBudget caps simulated time (default 100 ms; hitting it is a
 	// quiescence violation).
 	SimBudget sim.Time
+	// Topology selects the fabric (empty = "star"). Any params.Config
+	// topology is accepted, including the generated shapes (torus2d,
+	// torus3d, fattree, dragonfly, dragonfly-val).
+	Topology string
+	// Nodes scales the machine: when larger than the test's role count
+	// (threads + passive homes), the roles are spread evenly across the
+	// physical nodes, so the litmus traffic crosses the long paths of a
+	// big fabric instead of adjacent host ports. Zero keeps the minimal
+	// machine.
+	Nodes int
 	// Compare additionally records the legacy batch trace and runs the
 	// batch checkers, appending a violation on any disagreement with the
 	// streaming pipeline — fingerprint, event count, linearizability or
@@ -100,20 +110,36 @@ const ldIters = 400
 // Run executes one litmus test under cfg.
 func Run(t *Test, cfg Config) *RunResult {
 	nThreads := len(t.Threads)
-	homeNode := nThreads // first passive node (plain homes / coherent owner)
-	nNodes := nThreads
+	homeRole := nThreads // first passive role (plain homes / coherent owner)
+	nRoles := nThreads
 	switch {
 	case t.Region == Coherent && t.HomeThread >= 0:
-		homeNode = t.HomeThread
+		homeRole = t.HomeThread
 	case t.Region == Coherent:
-		nNodes = nThreads + 1
+		nRoles = nThreads + 1
 	default:
-		nNodes = nThreads + t.NLocs
+		nRoles = nThreads + t.NLocs
 	}
+
+	// Role → physical node. On the minimal machine this is the identity;
+	// with cfg.Nodes larger, roles spread evenly so the test's traffic
+	// crosses a real diameter.
+	nNodes := cfg.Nodes
+	if nNodes < nRoles {
+		nNodes = nRoles
+	}
+	phys := make([]int, nRoles)
+	for r := range phys {
+		phys[r] = r * nNodes / nRoles
+	}
+	homeNode := phys[homeRole]
 
 	pcfg := params.Default(nNodes)
 	pcfg.Seed = cfg.Seed
 	pcfg.Topology = "star"
+	if cfg.Topology != "" {
+		pcfg.Topology = cfg.Topology
+	}
 	pcfg.Sizing.MemBytes = 1 << 20
 	pcfg.Link.Faults = cfg.Faults
 	pcfg.Shards = cfg.Shards
@@ -168,7 +194,7 @@ func Run(t *Test, cfg Config) *RunResult {
 
 	if t.Region == Plain {
 		for l := 0; l < t.NLocs; l++ {
-			home := nThreads + l
+			home := phys[nThreads+l]
 			locVA[l] = c.AllocShared(addrspace.NodeID(home), 8)
 			locHome[l] = home
 		}
@@ -195,10 +221,14 @@ func Run(t *Test, cfg Config) *RunResult {
 		case inv != nil:
 			inv.SharePage(pageVA)
 		case gal != nil:
-			ring := t.Ring
-			if ring == nil {
+			var ring []int
+			if t.Ring == nil {
 				for i := 0; i < nNodes; i++ {
 					ring = append(ring, i)
+				}
+			} else {
+				for _, r := range t.Ring {
+					ring = append(ring, phys[r])
 				}
 			}
 			gal.ShareRing(pageVA, ring)
@@ -211,9 +241,9 @@ func Run(t *Test, cfg Config) *RunResult {
 		watchOff = c.SharedOffset(locVA[t.Watch.Loc])
 		switch {
 		case upd != nil:
-			upd.Mgr(t.Watch.Thread).Watch(watchOff)
+			upd.Mgr(phys[t.Watch.Thread]).Watch(watchOff)
 		case gal != nil:
-			gal.Mgr(t.Watch.Thread).Watch(watchOff)
+			gal.Mgr(phys[t.Watch.Thread]).Watch(watchOff)
 		}
 	}
 
@@ -237,7 +267,7 @@ func Run(t *Test, cfg Config) *RunResult {
 		if ti < len(t.Stagger) {
 			stagger = t.Stagger[ti] * sim.Time(cfg.Variant)
 		}
-		c.Spawn(ti, fmt.Sprintf("litmus%d", ti), func(ctx *cpu.Ctx) {
+		c.Spawn(phys[ti], fmt.Sprintf("litmus%d", ti), func(ctx *cpu.Ctx) {
 			if stagger > 0 {
 				ctx.Compute(stagger)
 			}
@@ -308,9 +338,9 @@ func Run(t *Test, cfg Config) *RunResult {
 		var vals []uint64
 		switch {
 		case upd != nil:
-			vals = upd.Mgr(t.Watch.Thread).AppliedValues(watchOff)
+			vals = upd.Mgr(phys[t.Watch.Thread]).AppliedValues(watchOff)
 		case gal != nil:
-			vals = gal.Mgr(t.Watch.Thread).AppliedValues(watchOff)
+			vals = gal.Mgr(phys[t.Watch.Thread]).AppliedValues(watchOff)
 		}
 		res.Outcome.ABA = hasABA(vals)
 	}

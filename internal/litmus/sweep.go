@@ -58,6 +58,10 @@ type CellKey struct {
 	// Comb marks the in-switch combining arm (run only for tests that
 	// issue fetch&increments — combining is a no-op for the rest).
 	Comb bool
+	// Topo and Nodes identify a topology-sweep arm (SweepTopo); both are
+	// zero in the classic star sweep.
+	Topo  string
+	Nodes int
 }
 
 // usesFAI reports whether the test issues any fetch&increment — the only
@@ -261,6 +265,12 @@ func (r *SweepResult) Report(w io.Writer) {
 		if a.Test != b.Test {
 			return a.Test < b.Test
 		}
+		if a.Topo != b.Topo {
+			return a.Topo < b.Topo
+		}
+		if a.Nodes != b.Nodes {
+			return a.Nodes < b.Nodes
+		}
 		if a.Protocol != b.Protocol {
 			return a.Protocol < b.Protocol
 		}
@@ -279,6 +289,9 @@ func (r *SweepResult) Report(w io.Writer) {
 			lastTest = k.Test
 		}
 		c := r.Cells[k]
+		if k.Topo != "" {
+			fmt.Fprintf(w, "  topo=%s/%d", k.Topo, k.Nodes)
+		}
 		fmt.Fprintf(w, "  proto=%-10v shards=%d faults=%-5s runs=%d", k.Protocol, k.Shards, k.Faults, c.Runs)
 		if k.Comb {
 			fmt.Fprintf(w, " comb")

@@ -1,0 +1,52 @@
+package litmus
+
+import (
+	"testing"
+)
+
+// TestTopoRunsMatchStar spot-checks the role-spreading runner: a test's
+// verdict is the same on a 16-node torus as on the minimal star — only
+// the wires changed, not the memory model.
+func TestTopoRunsMatchStar(t *testing.T) {
+	var mp *Test
+	for _, tt := range Tests() {
+		if tt.Name == "MP+fence" {
+			mp = tt
+			break
+		}
+	}
+	if mp == nil {
+		t.Fatal("MP+fence test missing from catalog")
+	}
+	star := Run(mp, Config{Protocol: Update, Seed: 3})
+	torus := Run(mp, Config{Protocol: Update, Seed: 3, Topology: "torus2d", Nodes: 16})
+	if len(star.Violations) != 0 || len(torus.Violations) != 0 {
+		t.Fatalf("violations: star=%v torus=%v", star.Violations, torus.Violations)
+	}
+	if star.Forbidden || torus.Forbidden {
+		t.Fatalf("forbidden outcome: star=%v torus=%v", star.Outcome, torus.Outcome)
+	}
+}
+
+// TestTopoSweepQuick is the tier-1 arm of the topology litmus sweep: a
+// representative test subset over every 16-node generated shape ×
+// protocol × shards {1,2}, requiring zero violations and bit-identical
+// trace hashes across shard counts.
+func TestTopoSweepQuick(t *testing.T) {
+	res := SweepTopo(SweepOptions{
+		Quick: true,
+		Seed:  1,
+		Tests: map[string]bool{"SB": true, "MP+fence": true, "CoRR-coherent": true, "atomic-inc": true},
+	})
+	if res.Runs == 0 {
+		t.Fatal("topology sweep ran nothing")
+	}
+	if res.Failed() {
+		for _, v := range res.Violations {
+			t.Errorf("violation: %s", v)
+		}
+		for _, m := range res.MissingWitness {
+			t.Errorf("missing witness: %s", m)
+		}
+	}
+}

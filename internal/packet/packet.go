@@ -191,19 +191,34 @@ func (op ReduceOp) Fold(a, b uint64) uint64 {
 	}
 }
 
-// VC is the virtual channel class a packet travels on. Requests and
-// replies use separate channels so request-reply dependency cycles cannot
-// deadlock the back-pressured fabric.
+// VC is the virtual channel a packet travels on. Channels factor into a
+// message class (request vs reply, so request-reply dependency cycles
+// cannot deadlock the back-pressured fabric) and an escape layer used by
+// the generated topologies: torus dateline crossings and dragonfly
+// global hops bump a packet to a higher layer, breaking the remaining
+// channel-dependency cycles (Dally/Seitz; see DESIGN.md §17).
 type VC uint8
 
-// The two virtual channels.
+// The two message classes (layer-0 channels keep the historical values,
+// so fixed topologies that never leave layer 0 are bit-identical to the
+// pre-layered fabric).
 const (
 	VCRequest VC = 0
 	VCReply   VC = 1
 )
 
-// NumVCs is the number of virtual channels per link.
-const NumVCs = 2
+// NumClasses is the number of message classes (request, reply).
+const NumClasses = 2
+
+// NumLayers is the number of escape layers. Layer 0 is the injection
+// layer; a torus dateline crossing moves a packet to layer 1, and each
+// dragonfly global hop increments the layer (minimal routes use at most
+// two global hops, so three layers suffice for every generated shape).
+const NumLayers = 3
+
+// NumVCs is the number of virtual channels per link:
+// NumClasses x NumLayers, layer-major (channel = layer*NumClasses+class).
+const NumVCs = NumClasses * NumLayers
 
 // HeaderBytes is the wire size of the fixed packet header.
 const HeaderBytes = 40
@@ -226,12 +241,13 @@ type Packet struct {
 	Len    uint32           // word count (CopyReq, MsgData)
 	Last   bool             // final packet of a stream (CopyData)
 	Hops   uint32           // ring traversal count (RingUpdate)
+	Layer  uint8            // VC escape layer (0 at injection; switches rewrite it)
 
 	// Data is an optional bulk payload (MsgData, page transfers).
 	Data []uint64
 }
 
-// Class reports the packet's virtual channel: replies and acks ride the
+// Class reports the packet's message class: replies and acks ride the
 // reply channel, everything else the request channel.
 func (p *Packet) Class() VC {
 	switch p.Type {
@@ -241,6 +257,17 @@ func (p *Packet) Class() VC {
 	default:
 		return VCRequest
 	}
+}
+
+// Channel reports the virtual channel the packet occupies: its message
+// class on its current escape layer. Hosts inject and eject at layer 0,
+// so on fixed topologies Channel and Class coincide.
+func (p *Packet) Channel() VC {
+	l := p.Layer
+	if l >= NumLayers {
+		l = NumLayers - 1
+	}
+	return VC(l)*NumClasses + p.Class()
 }
 
 // PayloadWords reports the number of payload words the packet carries on
@@ -270,7 +297,7 @@ func (p *Packet) String() string {
 // Encode serializes the packet into its wire frame (little-endian):
 //
 //	off  0: type(1) op(1) flags(1) rop(1) hops(4)
-//	off  8: src(2) dst(2) origin(2) pad(2)
+//	off  8: src(2) dst(2) origin(2) layer(1) pad(1)
 //	off 16: addr(8) addr2(8)
 //	off 32: val(8) val2(8) reqid(8) len(4) nwords(4)
 //	off 64: payload words (8 bytes each)
@@ -292,6 +319,7 @@ func Encode(p *Packet) []byte {
 	binary.LittleEndian.PutUint16(buf[8:], uint16(p.Src))
 	binary.LittleEndian.PutUint16(buf[10:], uint16(p.Dst))
 	binary.LittleEndian.PutUint16(buf[12:], uint16(p.Origin))
+	buf[14] = p.Layer
 	binary.LittleEndian.PutUint64(buf[16:], uint64(p.Addr))
 	binary.LittleEndian.PutUint64(buf[24:], uint64(p.Addr2))
 	binary.LittleEndian.PutUint64(buf[32:], p.Val)
@@ -319,6 +347,7 @@ func Decode(buf []byte) (*Packet, error) {
 		Src:    addrspace.NodeID(binary.LittleEndian.Uint16(buf[8:])),
 		Dst:    addrspace.NodeID(binary.LittleEndian.Uint16(buf[10:])),
 		Origin: addrspace.NodeID(binary.LittleEndian.Uint16(buf[12:])),
+		Layer:  buf[14],
 		Addr:   addrspace.GAddr(binary.LittleEndian.Uint64(buf[16:])),
 		Addr2:  addrspace.GAddr(binary.LittleEndian.Uint64(buf[24:])),
 		Val:    binary.LittleEndian.Uint64(buf[32:]),

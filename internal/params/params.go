@@ -107,12 +107,21 @@ type Config struct {
 	Sizing    Sizing
 	Link      link.Config
 	Switch    switchfab.Config
-	// Topology selects the fabric: "pair", "star", "chain" or "tree".
+	// Topology selects the fabric: "pair", "star", "chain", "tree", or
+	// one of the generated shapes — "torus2d", "torus3d" (k-ary n-cube
+	// with dimension-order routing and VC-dateline deadlock avoidance),
+	// "fattree" (up*/down*), "dragonfly" (minimal) or "dragonfly-val"
+	// (Valiant non-minimal).
 	Topology string
 	// ChainPerSwitch is the nodes-per-switch for the chain topology.
 	ChainPerSwitch int
 	// TreeRadix is the switch fan-out for the tree topology.
 	TreeRadix int
+	// CoresPerNode is the number of CPU cores per workstation (0 or 1 =
+	// single-core). All cores of a node share its MMU, memory, OS and
+	// HIB, so they contend for the one TurboChannel and the board's
+	// finite write queue — the paper's single-HIB workstation scaled up.
+	CoresPerNode int
 	// Shards is the number of parallel simulation shards the cluster is
 	// partitioned into (0 or 1 = classic sequential engine). Results are
 	// bit-identical across shard counts; shards only change wall-clock

@@ -181,6 +181,13 @@ func ScenarioFor(seed int64, opts Options) Scenario {
 	// versions of this function.
 	sc.FabricSync = rng.Bool(0.5) && sc.Barriers > 0
 	sc.Combining = rng.Bool(0.4)
+	// Generated fabrics — drawn after everything above, for the same
+	// draw-order reason: a slice of the star scenarios re-lands on a
+	// torus, fat-tree or dragonfly at the same node count, so the chaos
+	// workload also exercises the deadlock-avoiding multi-hop routes.
+	if genTopo := rng.Intn(10); sc.Topology == "star" && genTopo < 5 {
+		sc.Topology = []string{"torus2d", "torus3d", "fattree", "dragonfly", "dragonfly-val"}[genTopo]
+	}
 	return sc
 }
 

@@ -328,6 +328,7 @@ func (cs *collState) replicate(g *groupState, pkt *packet.Packet) {
 			cp := *pkt
 			cp.Dst = leg.Rep
 			cp.Hops = pkt.Hops + 1
+			cp.Layer = 0 // re-injected below the combining point: fresh escape layer
 			cs.sw.out[leg.Port].SendEv(&cp, nil)
 		}
 	})
@@ -377,6 +378,7 @@ func (cs *collState) flush(key combKey, gen uint64) {
 	var out *packet.Packet
 	if len(w.pkts) == 1 {
 		out = w.pkts[0]
+		out.Layer = 0 // absorbed and re-injected: fresh escape layer
 	} else {
 		m := &mergeRec{cons: make([]constituent, 0, len(w.pkts))}
 		var sum uint64

@@ -11,7 +11,10 @@
 //   - deterministic routing: one fixed path per destination;
 //   - in-order: packets from one input to one output stay ordered;
 //   - deadlock-free: requests and replies ride separate virtual channels,
-//     and the topologies built by package topology are cycle-free.
+//     and cyclic topologies (torus, dragonfly) escape residual channel
+//     dependencies by rewriting the packet's VC layer on dateline and
+//     global hops (SetRouteAction; proven acyclic by
+//     topology.CheckDeadlockFree).
 //
 // Forwarding a packet costs a fixed per-hop routing delay plus the output
 // link's serialization time.
@@ -46,8 +49,15 @@ type Switch struct {
 	out []*link.Link // per port: traffic leaving the switch
 	// routes is a dense output-port table indexed by destination node
 	// (-1 = no route): route lookup runs twice per forwarded packet, so it
-	// is an array walk, not a hash.
+	// is an array walk, not a hash. actions is the parallel per-destination
+	// layer rewrite (LayerKeep unless the topology builder says otherwise).
 	routes  []int16
+	actions []LayerAction
+	// portDim groups ports into routing dimensions (-1 = ungrouped). A
+	// packet switching between two *grouped* dimensions re-enters the new
+	// dimension's ring at layer 0; within a dimension, and on ungrouped
+	// ports, its layer is sticky.
+	portDim []int8
 	started bool
 
 	// coll is the in-network collective engine (nil unless a collective
@@ -85,15 +95,103 @@ func (s *Switch) AttachPort(in, out *link.Link) int {
 	return len(s.in) - 1
 }
 
+// LayerAction selects how a switch rewrites a packet's VC escape layer
+// when forwarding toward a destination (see packet.NumLayers and
+// DESIGN.md §17).
+type LayerAction uint8
+
+// The layer rewrites the generated topologies use.
+const (
+	// LayerKeep leaves the (possibly dimension-reset) layer unchanged.
+	LayerKeep LayerAction = iota
+	// LayerCross marks a torus dateline hop: the packet escapes to
+	// layer 1 for the rest of this ring.
+	LayerCross
+	// LayerInc marks a dragonfly global hop: the packet moves one layer
+	// up (saturating), so each global channel ordering is acyclic.
+	LayerInc
+	// LayerEject marks a delivery hop to a host port: the packet returns
+	// to the injection layer so the host sees the classic two channels.
+	LayerEject
+)
+
 // SetRoute directs traffic for node dst out of port.
 func (s *Switch) SetRoute(dst addrspace.NodeID, port int) {
+	s.SetRouteAction(dst, port, LayerKeep)
+}
+
+// SetRouteAction directs traffic for node dst out of port and installs
+// the layer rewrite applied on that hop.
+func (s *Switch) SetRouteAction(dst addrspace.NodeID, port int, act LayerAction) {
 	if port < 0 || port >= len(s.in) {
 		panic(fmt.Sprintf("switchfab: route to %v through invalid port %d", dst, port))
 	}
 	for len(s.routes) <= int(dst) {
 		s.routes = append(s.routes, -1)
+		s.actions = append(s.actions, LayerKeep)
 	}
 	s.routes[dst] = int16(port)
+	s.actions[dst] = act
+}
+
+// SetPortDim assigns port to routing-dimension group dim (>= 0).
+// Builders of dimension-ordered topologies (torus) call it so a packet
+// turning into a new dimension restarts that dimension's ring at
+// layer 0.
+func (s *Switch) SetPortDim(port, dim int) {
+	if port < 0 || port >= len(s.in) {
+		panic(fmt.Sprintf("switchfab: SetPortDim on invalid port %d", port))
+	}
+	for len(s.portDim) < len(s.in) {
+		s.portDim = append(s.portDim, -1)
+	}
+	s.portDim[port] = int8(dim)
+}
+
+// dimOf reports the dimension group of port (-1 = ungrouped).
+func (s *Switch) dimOf(port int) int8 {
+	if port < 0 || port >= len(s.portDim) {
+		return -1
+	}
+	return s.portDim[port]
+}
+
+// nextLayer computes the escape layer a packet leaves on: the sticky
+// arrival layer (reset when turning between two grouped dimensions),
+// rewritten by the destination's LayerAction. It is the single routing
+// truth shared by the forwarding pipeline and NextHop (which
+// topology.CheckDeadlockFree walks to build the channel-dependency
+// graph).
+func (s *Switch) nextLayer(inPort, outPort int, layer uint8, dst addrspace.NodeID) uint8 {
+	eff := layer
+	if in := s.dimOf(inPort); in >= 0 {
+		if out := s.dimOf(outPort); out >= 0 && out != in {
+			eff = 0
+		}
+	}
+	switch s.actions[dst] {
+	case LayerCross:
+		eff = 1
+	case LayerInc:
+		if eff < packet.NumLayers-1 {
+			eff++
+		}
+	case LayerEject:
+		eff = 0
+	}
+	return eff
+}
+
+// NextHop reports the forwarding decision for a packet to dst arriving
+// on inPort at the given escape layer: the output port and the
+// rewritten layer the packet departs with. inPort -1 means host
+// injection at this switch.
+func (s *Switch) NextHop(dst addrspace.NodeID, inPort int, layer uint8) (port int, outLayer uint8, ok bool) {
+	p, ok := s.Route(dst)
+	if !ok {
+		return 0, 0, false
+	}
+	return p, s.nextLayer(inPort, p, layer, dst), true
 }
 
 // Route reports the output port for dst and whether a route exists.
@@ -119,9 +217,10 @@ const internalBufPackets = 4
 // previous packet's transmission, so RouteDelay adds latency without
 // costing throughput — as in the real pipelined switch [16].
 type portPipe struct {
-	sw *Switch
-	in *link.Link
-	vc packet.VC
+	sw   *Switch
+	in   *link.Link
+	port int // input port index (for dimension-aware layer rewrites)
+	vc   packet.VC
 
 	routed  []*packet.Packet // route->xmit buffer, cap internalBufPackets
 	held    *packet.Packet   // routed but stalled on a full buffer
@@ -194,6 +293,7 @@ func (pp *portPipe) xmit() {
 	}
 	pp.sending = true
 	port := int(pp.sw.routes[pkt.Dst])
+	pkt.Layer = pp.sw.nextLayer(pp.port, port, pkt.Layer, pkt.Dst)
 	pp.sw.out[port].SendEv(pkt, pp.clearFn)
 }
 
@@ -204,9 +304,9 @@ func (s *Switch) Start() {
 		return
 	}
 	s.started = true
-	for _, in := range s.in {
+	for port, in := range s.in {
 		for vc := packet.VC(0); vc < packet.NumVCs; vc++ {
-			pp := &portPipe{sw: s, in: in, vc: vc}
+			pp := &portPipe{sw: s, in: in, port: port, vc: vc}
 			pp.routeDoneFn = pp.routeDone
 			pp.intakeFn = pp.intake
 			pp.clearFn = func() {

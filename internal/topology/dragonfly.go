@@ -1,0 +1,195 @@
+package topology
+
+// Dragonfly (Kim, Dally, Scott, Abts ISCA'08) in the a=4,h=2 class:
+// groups of a routers with p hosts each, full local all-to-all inside a
+// group, h global channels per router, and one global trunk per group
+// pair (channel c of group G meets channel g-2-c of group (G+c+1) mod
+// g). Minimal routing is local-global-local; the Valiant variant
+// detours every packet through a destination-hashed intermediate group
+// (local-global-local-global-local), which is what makes adversarial
+// permutations survivable. Every global hop bumps the packet one VC
+// escape layer (LayerInc), so channel dependencies always climb:
+// minimal traffic uses layers {0,1}, Valiant {0,1,2} — acyclic by
+// construction and proven so by CheckDeadlockFree.
+
+import (
+	"fmt"
+
+	"telegraphos/internal/addrspace"
+	"telegraphos/internal/link"
+	"telegraphos/internal/sim"
+	"telegraphos/internal/switchfab"
+)
+
+// DragonflyShape solves the class parameters for nnodes hosts: the
+// a=4,h=2 class (p=2 hosts per router, 8 per group, up to 9 groups)
+// up to 72 nodes, then the doubled a=8,h=4 class (32 per group, up to
+// 33 groups) to 1056. At least two groups are always built so global
+// channels exist.
+func DragonflyShape(nnodes int) (p, a, h, g int) {
+	if nnodes < 1 {
+		panic("topology: dragonfly needs at least one node")
+	}
+	p, a, h = 2, 4, 2
+	if nnodes > (a*h+1)*a*p {
+		p, a, h = 4, 8, 4
+		if nnodes > (a*h+1)*a*p {
+			panic(fmt.Sprintf("topology: dragonfly supports at most %d nodes", (a*h+1)*a*p))
+		}
+	}
+	g = (nnodes + a*p - 1) / (a * p)
+	if g < 2 {
+		g = 2
+	}
+	return p, a, h, g
+}
+
+// DragonflyAnchor reports the first populated host of global router s
+// (group-major: router r of group G is switch G*a+r). Shard assigners
+// use it to co-locate each router with its hosts.
+func DragonflyAnchor(nnodes, s int) int {
+	p, a, _, _ := DragonflyShape(nnodes)
+	first := (s / a) * a * p // first host of the group
+	first += (s % a) * p     // first host of the router
+	if first >= nnodes {
+		return nnodes - 1
+	}
+	return first
+}
+
+// dragonflyInterGroup picks the Valiant intermediate group for
+// destination t: a multiplicative hash of t offset into [1, g-1] past
+// the home group, so it is deterministic, destination-indexed (dense
+// tables stay valid), and never the destination group itself.
+func dragonflyInterGroup(t, gt, g int) int {
+	off := 1 + int((uint64(t)*2654435761)%uint64(g-1))
+	return (gt + off) % g
+}
+
+// BuildDragonfly connects nnodes hosts as a dragonfly; valiant selects
+// the non-minimal two-phase routing.
+func BuildDragonfly(eng *sim.Engine, nnodes int, valiant bool, lcfg link.Config, scfg switchfab.Config) *Network {
+	return BuildDragonflyOn(SingleEngine(eng), nnodes, valiant, lcfg, scfg)
+}
+
+// BuildDragonflyOn is BuildDragonfly with an explicit engine
+// assignment; routers are numbered group-major (see DragonflyAnchor).
+func BuildDragonflyOn(a Assign, nnodes int, valiant bool, lcfg link.Config, scfg switchfab.Config) *Network {
+	p, ra, h, g := DragonflyShape(nnodes)
+	nsw := g * ra
+
+	switches := make([]*switchfab.Switch, nsw)
+	for s := range switches {
+		switches[s] = switchfab.New(a.Switch(s), fmt.Sprintf("df.g%d.r%d", s/ra, s%ra), scfg)
+	}
+	kind := "dragonfly"
+	if valiant {
+		kind = "dragonfly-val"
+	}
+	n := &Network{eng: a.Node(0), Switches: switches, kind: kind}
+
+	// Host ports.
+	hostPort := make([]int, nnodes)
+	for i := 0; i < nnodes; i++ {
+		s := i / p // global router index (group-major host numbering)
+		ne, se := a.Node(i), a.Switch(s)
+		up := link.NewCross(ne, se, fmt.Sprintf("n%d->%s", i, switches[s].Name()), lcfg)
+		down := link.NewCross(se, ne, fmt.Sprintf("%s->n%d", switches[s].Name(), i), lcfg)
+		hostPort[i] = switches[s].AttachPort(up, down)
+		n.recordNodePort(i, s, hostPort[i])
+		n.toNet = append(n.toNet, up)
+		n.fromNet = append(n.fromNet, down)
+		n.links = append(n.links, up, down)
+	}
+
+	trunk := func(s1, s2 int) (p1, p2 int) {
+		e1, e2 := a.Switch(s1), a.Switch(s2)
+		fwd := link.NewCross(e1, e2, fmt.Sprintf("%s->%s", switches[s1].Name(), switches[s2].Name()), lcfg)
+		rev := link.NewCross(e2, e1, fmt.Sprintf("%s->%s", switches[s2].Name(), switches[s1].Name()), lcfg)
+		p1 = switches[s1].AttachPort(rev, fwd)
+		p2 = switches[s2].AttachPort(fwd, rev)
+		n.recordTrunk(s1, p1, s2, p2)
+		n.links = append(n.links, fwd, rev)
+		return p1, p2
+	}
+
+	// Local all-to-all inside each group.
+	localPort := make([][]int, nsw) // [router][peer r in group]
+	for s := range localPort {
+		localPort[s] = make([]int, ra)
+		for r := range localPort[s] {
+			localPort[s][r] = -1
+		}
+	}
+	for G := 0; G < g; G++ {
+		for r1 := 0; r1 < ra; r1++ {
+			for r2 := r1 + 1; r2 < ra; r2++ {
+				p1, p2 := trunk(G*ra+r1, G*ra+r2)
+				localPort[G*ra+r1][r2] = p1
+				localPort[G*ra+r2][r1] = p2
+			}
+		}
+	}
+
+	// Global trunks: channel c of group G (owned by router c/h) meets
+	// channel g-2-c of group (G+c+1) mod g; one trunk per group pair.
+	globalPort := make([][]int, nsw) // [router owning channel][target group]
+	for s := range globalPort {
+		globalPort[s] = make([]int, g)
+		for G := range globalPort[s] {
+			globalPort[s][G] = -1
+		}
+	}
+	for G := 0; G < g; G++ {
+		for c := 0; c < g-1; c++ {
+			H := (G + c + 1) % g
+			if G > H {
+				continue // the lower-numbered group built this trunk
+			}
+			cPeer := g - 2 - c
+			p1, p2 := trunk(G*ra+c/h, H*ra+cPeer/h)
+			globalPort[G*ra+c/h][H] = p1
+			globalPort[H*ra+cPeer/h][G] = p2
+		}
+	}
+
+	// Destination-indexed routing tables. towardGroup computes the next
+	// hop from router (G, r) heading for remote group Gt: the global
+	// port if this router owns the channel, else the local hop to the
+	// owning router.
+	towardGroup := func(G, r, Gt int) (port int, act switchfab.LayerAction) {
+		c := (Gt - G - 1 + g) % g
+		ro := c / h
+		if r == ro {
+			return globalPort[G*ra+r][Gt], switchfab.LayerInc
+		}
+		return localPort[G*ra+r][ro], switchfab.LayerKeep
+	}
+	for t := 0; t < nnodes; t++ {
+		dst := addrspace.NodeID(t)
+		Gt, rt := t/(ra*p), t/p%ra
+		for G := 0; G < g; G++ {
+			for r := 0; r < ra; r++ {
+				var port int
+				act := switchfab.LayerKeep
+				switch {
+				case G == Gt && r == rt:
+					port, act = hostPort[t], switchfab.LayerEject
+				case G == Gt:
+					port = localPort[G*ra+r][rt]
+				case valiant && G != dragonflyInterGroup(t, Gt, g):
+					// Phase 1: detour toward the intermediate group (a
+					// no-op once inside it — the case above picks phase 2).
+					port, act = towardGroup(G, r, dragonflyInterGroup(t, Gt, g))
+				default:
+					port, act = towardGroup(G, r, Gt)
+				}
+				switches[G*ra+r].SetRouteAction(dst, port, act)
+			}
+		}
+	}
+	for _, sw := range switches {
+		sw.Start()
+	}
+	return n
+}

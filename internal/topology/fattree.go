@@ -1,0 +1,180 @@
+package topology
+
+// k-ary fat-tree (folded Clos) with deterministic up*/down* routing: k
+// pods of k/2 edge and k/2 aggregation switches, (k/2)^2 core switches,
+// k/2 hosts per edge switch — k^3/4 hosts at full population. Routes
+// climb toward a destination-hashed core (up ports spread by dst, so
+// the reverse path of a reply is load-balanced the same way) and then
+// descend; up*/down* admits no up-after-down turn, so the channel
+// dependencies are acyclic on layer 0 alone and no dateline escape is
+// needed. Partial populations leave the trailing pods host-less but
+// fully wired.
+
+import (
+	"fmt"
+
+	"telegraphos/internal/addrspace"
+	"telegraphos/internal/link"
+	"telegraphos/internal/sim"
+	"telegraphos/internal/switchfab"
+)
+
+// FatTreeK reports the smallest even arity k whose fat-tree holds
+// nnodes hosts (k^3/4 >= nnodes).
+func FatTreeK(nnodes int) int {
+	if nnodes < 1 {
+		panic("topology: fat-tree needs at least one node")
+	}
+	for k := 2; ; k += 2 {
+		if k*k*k/4 >= nnodes {
+			return k
+		}
+	}
+}
+
+// FatTreeAnchor reports the first populated host below global switch s
+// of the fat-tree over nnodes hosts (edges, then aggregations, then
+// cores — see BuildFatTreeOn). Shard assigners use it to co-locate
+// each switch with its subtree.
+func FatTreeAnchor(nnodes, s int) int {
+	k := FatTreeK(nnodes)
+	perEdge, perPod := k/2, k*k/4
+	clamp := func(i int) int {
+		if i >= nnodes {
+			return nnodes - 1
+		}
+		return i
+	}
+	if s < k*(k/2) { // edge switch
+		p, e := s/(k/2), s%(k/2)
+		return clamp(p*perPod + e*perEdge)
+	}
+	s -= k * (k / 2)
+	if s < k*(k/2) { // aggregation switch
+		return clamp((s / (k / 2)) * perPod)
+	}
+	return 0 // core
+}
+
+// BuildFatTree connects nnodes hosts in the smallest k-ary fat-tree
+// that holds them, with deterministic up*/down* routing.
+func BuildFatTree(eng *sim.Engine, nnodes int, lcfg link.Config, scfg switchfab.Config) *Network {
+	return BuildFatTreeOn(SingleEngine(eng), nnodes, lcfg, scfg)
+}
+
+// BuildFatTreeOn is BuildFatTree with an explicit engine assignment;
+// switches are numbered edges, aggregations, cores (see FatTreeAnchor).
+func BuildFatTreeOn(a Assign, nnodes int, lcfg link.Config, scfg switchfab.Config) *Network {
+	k := FatTreeK(nnodes)
+	half := k / 2
+	perPod := half * half // hosts per pod
+	nEdge, nAgg, nCore := k*half, k*half, half*half
+	aggBase, coreBase := nEdge, nEdge+nAgg
+
+	switches := make([]*switchfab.Switch, nEdge+nAgg+nCore)
+	for p := 0; p < k; p++ {
+		for e := 0; e < half; e++ {
+			switches[p*half+e] = switchfab.New(a.Switch(p*half+e), fmt.Sprintf("ft.e%d.%d", p, e), scfg)
+			switches[aggBase+p*half+e] = switchfab.New(a.Switch(aggBase+p*half+e), fmt.Sprintf("ft.a%d.%d", p, e), scfg)
+		}
+	}
+	for c := 0; c < nCore; c++ {
+		switches[coreBase+c] = switchfab.New(a.Switch(coreBase+c), fmt.Sprintf("ft.c%d", c), scfg)
+	}
+	n := &Network{eng: a.Node(0), Switches: switches, kind: "fattree"}
+
+	// Host ports on the edge switches.
+	hostPort := make([]int, nnodes)
+	for i := 0; i < nnodes; i++ {
+		p, j := i/perPod, i%perPod
+		edge := p*half + j/half
+		ne, se := a.Node(i), a.Switch(edge)
+		up := link.NewCross(ne, se, fmt.Sprintf("n%d->%s", i, switches[edge].Name()), lcfg)
+		down := link.NewCross(se, ne, fmt.Sprintf("%s->n%d", switches[edge].Name(), i), lcfg)
+		hostPort[i] = switches[edge].AttachPort(up, down)
+		n.recordNodePort(i, edge, hostPort[i])
+		n.toNet = append(n.toNet, up)
+		n.fromNet = append(n.fromNet, down)
+		n.links = append(n.links, up, down)
+	}
+
+	trunk := func(s1, s2 int) (p1, p2 int) {
+		e1, e2 := a.Switch(s1), a.Switch(s2)
+		fwd := link.NewCross(e1, e2, fmt.Sprintf("%s->%s", switches[s1].Name(), switches[s2].Name()), lcfg)
+		rev := link.NewCross(e2, e1, fmt.Sprintf("%s->%s", switches[s2].Name(), switches[s1].Name()), lcfg)
+		p1 = switches[s1].AttachPort(rev, fwd)
+		p2 = switches[s2].AttachPort(fwd, rev)
+		n.recordTrunk(s1, p1, s2, p2)
+		n.links = append(n.links, fwd, rev)
+		return p1, p2
+	}
+
+	// Edge <-> aggregation inside each pod, then aggregation <-> core:
+	// agg a of every pod reaches cores a*half .. a*half+half-1.
+	edgeUp := make([][]int, nEdge)   // [edge][agg] port on edge toward agg a
+	aggDown := make([][]int, nAgg)   // [agg][edge] port on agg toward edge e
+	aggUp := make([][]int, nAgg)     // [agg][o] port on agg toward core a*half+o
+	coreDown := make([][]int, nCore) // [core][pod] port on core toward pod p
+	for i := range edgeUp {
+		edgeUp[i] = make([]int, half)
+	}
+	for i := range aggDown {
+		aggDown[i] = make([]int, half)
+		aggUp[i] = make([]int, half)
+	}
+	for i := range coreDown {
+		coreDown[i] = make([]int, k)
+	}
+	for p := 0; p < k; p++ {
+		for e := 0; e < half; e++ {
+			for ag := 0; ag < half; ag++ {
+				pe, pa := trunk(p*half+e, aggBase+p*half+ag)
+				edgeUp[p*half+e][ag] = pe
+				aggDown[p*half+ag][e] = pa
+			}
+		}
+		for ag := 0; ag < half; ag++ {
+			for o := 0; o < half; o++ {
+				pa, pc := trunk(aggBase+p*half+ag, coreBase+ag*half+o)
+				aggUp[p*half+ag][o] = pa
+				coreDown[ag*half+o][p] = pc
+			}
+		}
+	}
+
+	// Deterministic up*/down* routing, up ports spread by destination.
+	for t := 0; t < nnodes; t++ {
+		dst := addrspace.NodeID(t)
+		tp, tj := t/perPod, t%perPod
+		te := tp*half + tj/half
+		ta := t % half          // agg index every pod uses to reach t
+		to := (t / half) % half // core offset behind that agg
+		for p := 0; p < k; p++ {
+			for e := 0; e < half; e++ {
+				edge := p*half + e
+				if edge == te {
+					switches[edge].SetRouteAction(dst, hostPort[t], switchfab.LayerEject)
+				} else {
+					switches[edge].SetRoute(dst, edgeUp[edge][ta])
+				}
+			}
+			for ag := 0; ag < half; ag++ {
+				agg := p*half + ag
+				if p == tp {
+					switches[aggBase+agg].SetRoute(dst, aggDown[agg][tj/half])
+				} else {
+					switches[aggBase+agg].SetRoute(dst, aggUp[agg][to])
+				}
+			}
+		}
+		// Only core ta*half+to carries traffic to t, but every core
+		// knows the down pod so stray packets cannot be misrouted.
+		for c := 0; c < nCore; c++ {
+			switches[coreBase+c].SetRoute(dst, coreDown[c][tp])
+		}
+	}
+	for _, sw := range switches {
+		sw.Start()
+	}
+	return n
+}

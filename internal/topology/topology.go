@@ -34,6 +34,56 @@ type Network struct {
 	links    []*link.Link // every distinct link in the fabric (incl. trunks)
 	Switches []*switchfab.Switch
 	kind     string
+
+	// Port adjacency, recorded by every builder: peers[s][p] names the
+	// far end of switch s's port p. nodeSw/nodePort locate each node's
+	// host port. The routing checkers (graph.go) and the spanning-tree
+	// derivation walk this graph together with the switches' tables.
+	peers    [][]portPeer
+	nodeSw   []int
+	nodePort []int
+}
+
+// portPeer describes the far end of one switch port: a host port
+// (node >= 0) or a trunk to another switch's port.
+type portPeer struct {
+	node     int // attached node, or -1 for a trunk
+	sw, port int // peer switch and port when node < 0
+}
+
+// recordNodePort notes that switch s's port p is node i's host port.
+func (n *Network) recordNodePort(i, s, p int) {
+	for len(n.peers) <= s {
+		n.peers = append(n.peers, nil)
+	}
+	for len(n.peers[s]) <= p {
+		n.peers[s] = append(n.peers[s], portPeer{node: -1, sw: -1, port: -1})
+	}
+	n.peers[s][p] = portPeer{node: i, sw: -1, port: -1}
+	for len(n.nodeSw) <= i {
+		n.nodeSw = append(n.nodeSw, -1)
+		n.nodePort = append(n.nodePort, -1)
+	}
+	n.nodeSw[i] = s
+	n.nodePort[i] = p
+}
+
+// recordTrunk notes a bidirectional trunk between switch s1's port p1
+// and switch s2's port p2.
+func (n *Network) recordTrunk(s1, p1, s2, p2 int) {
+	for _, s := range []int{s1, s2} {
+		for len(n.peers) <= s {
+			n.peers = append(n.peers, nil)
+		}
+	}
+	for len(n.peers[s1]) <= p1 {
+		n.peers[s1] = append(n.peers[s1], portPeer{node: -1, sw: -1, port: -1})
+	}
+	for len(n.peers[s2]) <= p2 {
+		n.peers[s2] = append(n.peers[s2], portPeer{node: -1, sw: -1, port: -1})
+	}
+	n.peers[s1][p1] = portPeer{node: -1, sw: s2, port: p2}
+	n.peers[s2][p2] = portPeer{node: -1, sw: s1, port: p1}
 }
 
 // NumNodes reports the number of attached nodes.
@@ -169,6 +219,7 @@ func BuildStarOn(a Assign, nnodes int, lcfg link.Config, scfg switchfab.Config) 
 		down := link.NewCross(swEng, ne, fmt.Sprintf("sw0->n%d", i), lcfg)
 		port := sw.AttachPort(up, down)
 		sw.SetRoute(addrspace.NodeID(i), port)
+		n.recordNodePort(i, 0, port)
 		n.toNet = append(n.toNet, up)
 		n.fromNet = append(n.fromNet, down)
 		n.links = append(n.links, up, down)
@@ -203,6 +254,7 @@ func BuildChainOn(a Assign, nnodes, perSwitch int, lcfg link.Config, scfg switch
 		up := link.NewCross(ne, se, fmt.Sprintf("n%d->sw%d", i, s), lcfg)
 		down := link.NewCross(se, ne, fmt.Sprintf("sw%d->n%d", s, i), lcfg)
 		nodePort[i] = switches[s].AttachPort(up, down)
+		n.recordNodePort(i, s, nodePort[i])
 		n.toNet = append(n.toNet, up)
 		n.fromNet = append(n.fromNet, down)
 		n.links = append(n.links, up, down)
@@ -217,6 +269,7 @@ func BuildChainOn(a Assign, nnodes, perSwitch int, lcfg link.Config, scfg switch
 		rl := link.NewCross(es1, es, fmt.Sprintf("sw%d->sw%d", s+1, s), lcfg)
 		rightPort[s] = switches[s].AttachPort(rl, lr)
 		leftPort[s+1] = switches[s+1].AttachPort(lr, rl)
+		n.recordTrunk(s, rightPort[s], s+1, leftPort[s+1])
 		n.links = append(n.links, lr, rl)
 	}
 
@@ -317,6 +370,7 @@ func BuildTreeOn(a Assign, nnodes, radix int, lcfg link.Config, scfg switchfab.C
 		up := link.NewCross(ne, se, fmt.Sprintf("n%d->sw0.%d", i, s), lcfg)
 		down := link.NewCross(se, ne, fmt.Sprintf("sw0.%d->n%d", s, i), lcfg)
 		nodePort[i] = sws[0][s].AttachPort(up, down)
+		n.recordNodePort(i, s, nodePort[i])
 		n.toNet = append(n.toNet, up)
 		n.fromNet = append(n.fromNet, down)
 		n.links = append(n.links, up, down)
@@ -329,6 +383,10 @@ func BuildTreeOn(a Assign, nnodes, radix int, lcfg link.Config, scfg switchfab.C
 		upPort[l] = make([]int, counts[l])
 		downPort[l] = make([]int, counts[l])
 	}
+	levelBase := make([]int, nlv) // global switch index of (l, 0)
+	for l := 1; l < nlv; l++ {
+		levelBase[l] = levelBase[l-1] + counts[l-1]
+	}
 	for l := 0; l < nlv-1; l++ {
 		for c := 0; c < counts[l]; c++ {
 			p := c / radix
@@ -337,6 +395,7 @@ func BuildTreeOn(a Assign, nnodes, radix int, lcfg link.Config, scfg switchfab.C
 			pc := link.NewCross(pe, ce, fmt.Sprintf("sw%d.%d->sw%d.%d", l+1, p, l, c), lcfg)
 			upPort[l][c] = sws[l][c].AttachPort(pc, cp)
 			downPort[l][c] = sws[l+1][p].AttachPort(cp, pc)
+			n.recordTrunk(levelBase[l]+c, upPort[l][c], levelBase[l+1]+p, downPort[l][c])
 			n.links = append(n.links, cp, pc)
 		}
 	}
@@ -375,56 +434,65 @@ type SwitchTree struct {
 }
 
 // SpanningTree derives each switch's role in the collective spanning
-// tree for root and participants, purely from the routing tables: a
-// participant p is in switch s's subtree exactly when s routes p away
-// from the root's direction (the topologies are cycle-free, so "not
-// toward the root" is "strictly below s"). Switches with an empty
-// subtree are omitted — no collective traffic can reach them. The
-// construction is deterministic: legs come out in ascending port order
-// and representatives are the smallest participant behind each port.
+// tree for root and participants by walking every participant's routed
+// path to the root: deterministic destination routing makes the union
+// of those paths an in-tree rooted at the root's host port, on cyclic
+// topologies (torus, dragonfly) just as on the tree shapes. A switch's
+// subtree is the set of participants whose path traverses it; each leg
+// is the in-port their arrivals (host injections or a child switch's
+// combined arrival) physically enter on. Switches on no path are
+// omitted — no collective traffic can reach them. The construction is
+// deterministic: legs come out in ascending port order and
+// representatives are the smallest participant behind each port.
 func (n *Network) SpanningTree(root addrspace.NodeID, participants []addrspace.NodeID) []SwitchTree {
-	var out []SwitchTree
-	for _, sw := range n.Switches {
-		up, ok := sw.Route(root)
-		if !ok {
-			panic(fmt.Sprintf("topology: switch %s has no route to collective root %v", sw.Name(), root))
-		}
-		// legRep[port] is the smallest participant behind port (-1: none).
-		legRep := make([]int, sw.NumPorts())
-		for i := range legRep {
-			legRep[i] = -1
-		}
-		expect := 0
-		rep := -1
-		for _, p := range participants {
-			if p == root {
-				continue
-			}
-			port, ok := sw.Route(p)
-			if !ok {
-				panic(fmt.Sprintf("topology: switch %s has no route to participant %v", sw.Name(), p))
-			}
-			if port == up {
-				continue // p is above s, not in its subtree
-			}
-			expect++
-			if legRep[port] < 0 || int(p) < legRep[port] {
-				legRep[port] = int(p)
-			}
-			if rep < 0 || int(p) < rep {
-				rep = int(p)
-			}
-		}
-		if expect == 0 {
+	if len(n.Switches) == 0 {
+		return nil
+	}
+	type acc struct {
+		up     int
+		expect int
+		rep    int
+		legRep []int // smallest participant arriving on each in-port (-1: none)
+	}
+	accs := make([]*acc, len(n.Switches))
+	for _, p := range participants {
+		if p == root {
 			continue
 		}
-		plan := switchfab.TreePlan{UpPort: up, Expect: expect, Rep: addrspace.NodeID(rep)}
-		for port, r := range legRep {
+		hops, err := n.Walk(p, root)
+		if err != nil {
+			panic(fmt.Sprintf("topology: no routed path from participant %v to collective root %v: %v", p, root, err))
+		}
+		for _, h := range hops {
+			a := accs[h.Sw]
+			if a == nil {
+				a = &acc{up: h.OutPort, rep: -1, legRep: make([]int, n.Switches[h.Sw].NumPorts())}
+				for i := range a.legRep {
+					a.legRep[i] = -1
+				}
+				accs[h.Sw] = a
+			}
+			a.expect++
+			if a.legRep[h.InPort] < 0 || int(p) < a.legRep[h.InPort] {
+				a.legRep[h.InPort] = int(p)
+			}
+			if a.rep < 0 || int(p) < a.rep {
+				a.rep = int(p)
+			}
+		}
+	}
+	var out []SwitchTree
+	for s, a := range accs {
+		if a == nil {
+			continue
+		}
+		plan := switchfab.TreePlan{UpPort: a.up, Expect: a.expect, Rep: addrspace.NodeID(a.rep)}
+		for port, r := range a.legRep {
 			if r >= 0 {
 				plan.Legs = append(plan.Legs, switchfab.DownLeg{Port: port, Rep: addrspace.NodeID(r)})
 			}
 		}
-		out = append(out, SwitchTree{Switch: sw, Plan: plan})
+		out = append(out, SwitchTree{Switch: n.Switches[s], Plan: plan})
 	}
 	return out
 }

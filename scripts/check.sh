@@ -71,6 +71,16 @@ go run ./cmd/tgbench -exp E15 >/dev/null
 echo '== tglitmus quick sweep'
 go run ./cmd/tglitmus -quick
 
+# Topology-zoo gates (DESIGN.md §17): the deadlock-freedom proof over
+# every generated fabric (CDG acyclicity, all-pairs reachability,
+# minimality, adversarial completion), then a litmus smoke on the
+# 16-node torus — the memory-model verdicts must not depend on the
+# wires the protocol runs over.
+echo '== topology deadlock-freedom harness'
+go test ./internal/topology -count 1
+echo '== tglitmus torus smoke'
+go run ./cmd/tglitmus -topo -quick -tests SB,MP+fence >/dev/null
+
 echo '== linearizability smoke (fuzz corpora replay)'
 go test ./internal/linearize ./internal/consistency -count 1
 
@@ -96,5 +106,6 @@ check_cover internal/litmus 75
 check_cover internal/consistency 90
 check_cover internal/analysis 80
 check_cover internal/collective 80
+check_cover internal/topology 90
 
 echo 'tier-1: all checks passed'
