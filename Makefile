@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet lint test race chaos litmus bench fuzz collectives
+.PHONY: check build vet lint lint-fix-audit test race chaos litmus bench fuzz collectives
 
 # Tier-1 verify: build + vet + tests + race detector.
 check:
@@ -16,6 +16,12 @@ vet:
 # "Static determinism checking").
 lint:
 	$(GO) run ./cmd/tgvet ./...
+
+# Suppression audit: every //tgvet:allow escape hatch in the tree with
+# its mandatory reason, one line each — review this when paying down
+# sanctioned debt or vetting a new annotation.
+lint-fix-audit:
+	$(GO) run ./cmd/tgvet -audit ./...
 
 test:
 	$(GO) test ./...

@@ -66,6 +66,9 @@ func Analyzers() []*Analyzer {
 		AnalyzerShardLocal,
 		AnalyzerEventDrop,
 		AnalyzerTraceSink,
+		AnalyzerTaint,
+		AnalyzerNoalloc,
+		AnalyzerHandle,
 	}
 }
 
@@ -77,6 +80,19 @@ func AnalyzerByName(name string) *Analyzer {
 		}
 	}
 	return nil
+}
+
+// analyzerNames is filled by init rather than referencing Analyzers()
+// directly from parseAnnotations: the interprocedural analyzers consult
+// annotations from their Run functions, and a static reference from
+// annotation parsing back to the registry would close an initialization
+// cycle.
+var analyzerNames = make(map[string]bool)
+
+func init() {
+	for _, a := range Analyzers() {
+		analyzerNames[a.Name] = true
+	}
 }
 
 // A Diagnostic is one finding, positioned in the analyzed source.
@@ -101,6 +117,9 @@ func (d Diagnostic) String() string {
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
+	// Mod is the interprocedural context: the call graph and annotation
+	// caches shared across the run's packages (see callgraph.go).
+	Mod *Module
 
 	diags []Diagnostic
 }
@@ -129,14 +148,22 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type {
 // Check runs every analyzer in the suite over pkg, filters the findings
 // through the package's //tgvet:allow annotations, and returns the
 // surviving diagnostics (including any malformed annotations) sorted by
-// position. Analyzer names restrict the run when non-empty.
+// position. Analyzer names restrict the run when non-empty. The
+// interprocedural analyzers see only pkg itself; use Module.Check when
+// call chains must cross package boundaries.
 func Check(pkg *Package, analyzers ...*Analyzer) []Diagnostic {
+	return NewModule([]*Package{pkg}).Check(pkg, analyzers...)
+}
+
+// Check runs the analyzers over pkg with the module's shared
+// interprocedural context (call graph, taint facts, noalloc index).
+func (m *Module) Check(pkg *Package, analyzers ...*Analyzer) []Diagnostic {
 	if len(analyzers) == 0 {
 		analyzers = Analyzers()
 	}
 	allows, diags := parseAnnotations(pkg)
 	for _, a := range analyzers {
-		pass := &Pass{Analyzer: a, Pkg: pkg}
+		pass := &Pass{Analyzer: a, Pkg: pkg, Mod: m}
 		a.Run(pass)
 		for _, d := range pass.diags {
 			if !allows.suppresses(d) {
@@ -183,12 +210,17 @@ func (s allowSet) suppresses(d Diagnostic) bool {
 // reason match is greedy so it may itself contain parentheses.
 var allowRe = regexp.MustCompile(`^tgvet:allow\s+([a-z]+)\((.+)\)\s*$`)
 
+// noallocDirective is the function-contract marker consumed by the
+// noalloc analyzer (callgraph.go parses it off FuncDecl doc comments);
+// the annotation parser must recognize it as well-formed.
+const noallocDirective = "tgvet:noalloc"
+
 // parseAnnotations scans every comment in the package for
 // //tgvet:allow directives. It returns the suppression set and a
 // diagnostic for each malformed directive (missing reason, unknown
-// analyzer, or unparseable syntax) — annotations are part of the
-// contract, so a broken one must fail the build rather than silently
-// suppress nothing.
+// analyzer, unparseable syntax, or a standalone annotation with no code
+// line to attach to) — annotations are part of the contract, so a
+// broken one must fail the build rather than silently suppress nothing.
 func parseAnnotations(pkg *Package) (allowSet, []Diagnostic) {
 	allows := make(allowSet)
 	var diags []Diagnostic
@@ -199,6 +231,7 @@ func parseAnnotations(pkg *Package) (allowSet, []Diagnostic) {
 		standalone := make(map[int]bool)
 		type pending struct {
 			line       int
+			col        int
 			name       string
 			standalone bool
 		}
@@ -210,6 +243,9 @@ func parseAnnotations(pkg *Package) (allowSet, []Diagnostic) {
 				if !strings.HasPrefix(text, "tgvet:") {
 					continue
 				}
+				if text == noallocDirective {
+					continue // function contract, not a suppression
+				}
 				pos := pkg.Fset.Position(c.Slash)
 				m := allowRe.FindStringSubmatch(text)
 				if m == nil || strings.TrimSpace(m[2]) == "" {
@@ -219,7 +255,7 @@ func parseAnnotations(pkg *Package) (allowSet, []Diagnostic) {
 					})
 					continue
 				}
-				if AnalyzerByName(m[1]) == nil {
+				if !analyzerNames[m[1]] {
 					diags = append(diags, Diagnostic{
 						Analyzer: "tgvet", File: filename, Line: pos.Line, Col: pos.Column,
 						Message: fmt.Sprintf("annotation names unknown analyzer %q", m[1]),
@@ -230,7 +266,7 @@ func parseAnnotations(pkg *Package) (allowSet, []Diagnostic) {
 				if alone {
 					standalone[pos.Line] = true
 				}
-				entries = append(entries, pending{line: pos.Line, name: m[1], standalone: alone})
+				entries = append(entries, pending{line: pos.Line, col: pos.Column, name: m[1], standalone: alone})
 			}
 		}
 		for _, e := range entries {
@@ -242,11 +278,37 @@ func parseAnnotations(pkg *Package) (allowSet, []Diagnostic) {
 				for standalone[target] {
 					target++
 				}
+				if !lineHasCode(pkg, filename, target) {
+					// An annotation that attaches to a blank line, a
+					// comment, or the end of the file suppresses nothing;
+					// silently accepting it would leave a dead suppression
+					// that springs back to life when code moves under it.
+					diags = append(diags, Diagnostic{
+						Analyzer: "tgvet", File: filename, Line: e.line, Col: e.col,
+						Message: fmt.Sprintf("orphaned //tgvet:allow %s annotation: the line below it has no code to attach to (move it directly above the statement it suppresses, or delete it)", e.name),
+					})
+					continue
+				}
 			}
 			allows.add(filename, target, e.name)
 		}
 	}
 	return allows, diags
+}
+
+// lineHasCode reports whether the 1-based line of file contains any
+// code (not blank, not a pure comment line, not past end of file).
+func lineHasCode(pkg *Package, filename string, line int) bool {
+	src, ok := pkg.Sources[filename]
+	if !ok {
+		return true // no source text: assume the best, never invent orphans
+	}
+	lines := strings.Split(string(src), "\n")
+	if line < 1 || line > len(lines) {
+		return false
+	}
+	text := strings.TrimSpace(lines[line-1])
+	return text != "" && !strings.HasPrefix(text, "//")
 }
 
 // isStandaloneComment reports whether the comment starting at pos has
@@ -318,6 +380,26 @@ func methodKey(obj types.Object) string {
 		return ""
 	}
 	return fn.Pkg().Path() + "." + fn.Name()
+}
+
+// exprText renders a simple expression for diagnostics (identifiers,
+// selector chains, indexes); it is not a full printer.
+func exprText(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprText(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprText(e.X) + "[" + exprText(e.Index) + "]"
+	case *ast.StarExpr:
+		return "*" + exprText(e.X)
+	case *ast.CallExpr:
+		return exprText(e.Fun) + "(…)"
+	case *ast.BasicLit:
+		return e.Value
+	}
+	return "…"
 }
 
 // isConstZero reports whether e type-checked to the integer constant 0.

@@ -136,3 +136,47 @@ func TestAnalyzerByName(t *testing.T) {
 		t.Error("unknown name resolved")
 	}
 }
+
+func TestAnnotationOrphanedStandalone(t *testing.T) {
+	// A standalone annotation followed by a blank line (or nothing at
+	// all) attaches to no code: it must be reported, not silently kept
+	// as a dead suppression that springs back to life when code moves
+	// under it.
+	diags := checkModule(t, `package p
+
+func f() {}
+
+//tgvet:allow walltime(dangling; nothing below to suppress)
+
+`)
+	if len(diags) != 1 || diags[0].Analyzer != "tgvet" ||
+		!strings.Contains(diags[0].Message, "orphaned") {
+		t.Fatalf("want one orphaned-annotation diagnostic, got %v", diags)
+	}
+	if diags[0].Line != 5 {
+		t.Errorf("orphan reported at line %d, want 5", diags[0].Line)
+	}
+
+	// Followed by a comment line: still orphaned (comments are not code).
+	diags = checkModule(t, `package p
+
+//tgvet:allow walltime(attaches to a comment, which is no code)
+// just a comment
+func f() {}
+`)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "orphaned") {
+		t.Fatalf("want orphaned diagnostic for comment target, got %v", diags)
+	}
+
+	// Directly above code: not orphaned, still suppresses.
+	diags = checkModule(t, `package p
+
+import "time"
+
+//tgvet:allow walltime(host-side stamp)
+var T = time.Now()
+`)
+	if len(diags) != 0 {
+		t.Fatalf("annotation above code must suppress, got %v", diags)
+	}
+}

@@ -1,0 +1,108 @@
+package analysis
+
+// Baseline support: freeze the current findings into a JSON file so a
+// legacy codebase can adopt a new analyzer without a flag day — only
+// findings not present in the baseline fail the build, and the file
+// shrinks monotonically as debt is paid down. Matching deliberately
+// ignores line and column: moving code must not resurrect a baselined
+// finding, and the (analyzer, file, message) triple is stable because
+// messages embed the offending expression, not its position.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// baselineKey identifies a finding for baseline matching.
+type baselineKey struct {
+	analyzer, file, message string
+}
+
+// FilterBaseline returns the diagnostics in diags not accounted for by
+// the baseline set, honoring multiplicity: a baseline entry absorbs one
+// matching finding.
+func FilterBaseline(diags, baseline []Diagnostic) []Diagnostic {
+	have := make(map[baselineKey]int, len(baseline))
+	for _, d := range baseline {
+		have[baselineKey{d.Analyzer, d.File, d.Message}]++
+	}
+	var fresh []Diagnostic
+	for _, d := range diags {
+		k := baselineKey{d.Analyzer, d.File, d.Message}
+		if have[k] > 0 {
+			have[k]--
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	return fresh
+}
+
+// ReadBaseline loads a baseline file written by WriteBaseline.
+func ReadBaseline(path string) ([]Diagnostic, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	if err := json.Unmarshal(data, &diags); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	return diags, nil
+}
+
+// WriteBaseline persists diags as an indented JSON array (the same
+// shape tgvet -json emits, so the two formats interoperate).
+func WriteBaseline(path string, diags []Diagnostic) error {
+	if diags == nil {
+		diags = []Diagnostic{}
+	}
+	data, err := json.MarshalIndent(diags, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// AllowEntry is one well-formed //tgvet:allow annotation with its
+// mandatory reason, for the suppression audit (`make lint-fix-audit`):
+// every escape hatch in the tree stays reviewable in one listing.
+type AllowEntry struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Analyzer string `json:"analyzer"`
+	Reason   string `json:"reason"`
+}
+
+func (e AllowEntry) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", e.File, e.Line, e.Analyzer, e.Reason)
+}
+
+// CollectAllows scans pkg's comments for well-formed //tgvet:allow
+// annotations, in source order. Malformed annotations are not listed —
+// they are already hard diagnostics from the regular run.
+func CollectAllows(pkg *Package) []AllowEntry {
+	var entries []AllowEntry
+	for _, f := range pkg.Files {
+		filename := pkg.Fset.Position(f.Pos()).Filename
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				m := allowRe.FindStringSubmatch(text)
+				if m == nil || strings.TrimSpace(m[2]) == "" || !analyzerNames[m[1]] {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Slash)
+				entries = append(entries, AllowEntry{
+					File:     filename,
+					Line:     pos.Line,
+					Analyzer: m[1],
+					Reason:   strings.TrimSpace(m[2]),
+				})
+			}
+		}
+	}
+	return entries
+}

@@ -12,9 +12,9 @@ import (
 
 // Exit codes of the tgvet driver.
 const (
-	ExitClean = 0 // no unsuppressed diagnostics
-	ExitDiags = 1 // at least one diagnostic
-	ExitError = 2 // usage or load failure
+	ExitClean = 0 // no unsuppressed diagnostics (or none beyond the baseline)
+	ExitDiags = 1 // at least one reportable diagnostic
+	ExitError = 2 // usage error, load failure, or unreadable baseline
 )
 
 // Main is the tgvet entry point (cmd/tgvet is a thin wrapper so the
@@ -24,12 +24,18 @@ const (
 func Main(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("tgvet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array (machine-readable)")
+	jsonOut := fs.Bool("json", false, "emit results as a JSON array (machine-readable)")
 	list := fs.Bool("list", false, "list the analyzers and their invariants, then exit")
+	baseline := fs.String("baseline", "", "suppress findings recorded in this baseline `file`; only new findings fail")
+	writeBaseline := fs.String("write-baseline", "", "record the current findings into `file` and exit clean")
+	audit := fs.Bool("audit", false, "list every //tgvet:allow annotation with its reason, then exit")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: tgvet [-json] [-list] [packages]\n\n"+
+		fmt.Fprintf(stderr, "usage: tgvet [-json] [-list] [-audit] [-baseline file | -write-baseline file] [packages]\n\n"+
 			"tgvet statically checks the simulator's determinism and shard-safety\n"+
-			"contracts. Packages are directories or ./... patterns; default ./...\n\n")
+			"contracts. Packages are directories or ./... patterns; default ./...\n\n"+
+			"exit codes: 0 clean (no findings, or none beyond the baseline;\n"+
+			"always 0 after -write-baseline or -audit), 1 findings, 2 usage or\n"+
+			"load error (including an unreadable or malformed baseline file)\n\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -41,23 +47,56 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		}
 		return ExitClean
 	}
+	if *baseline != "" && *writeBaseline != "" {
+		fmt.Fprintf(stderr, "tgvet: -baseline and -write-baseline are mutually exclusive\n")
+		return ExitError
+	}
 	cwd, err := os.Getwd()
 	if err != nil {
 		fmt.Fprintf(stderr, "tgvet: %v\n", err)
 		return ExitError
+	}
+	if *audit {
+		entries, err := Audit(cwd, fs.Args())
+		if err != nil {
+			fmt.Fprintf(stderr, "tgvet: %v\n", err)
+			return ExitError
+		}
+		if *jsonOut {
+			if err := encodeJSON(stdout, entries, []AllowEntry{}); err != nil {
+				fmt.Fprintf(stderr, "tgvet: %v\n", err)
+				return ExitError
+			}
+		} else {
+			for _, e := range entries {
+				fmt.Fprintln(stdout, e)
+			}
+		}
+		return ExitClean
 	}
 	diags, err := Run(cwd, fs.Args())
 	if err != nil {
 		fmt.Fprintf(stderr, "tgvet: %v\n", err)
 		return ExitError
 	}
-	if *jsonOut {
-		enc := json.NewEncoder(stdout)
-		enc.SetIndent("", "  ")
-		if diags == nil {
-			diags = []Diagnostic{}
+	if *writeBaseline != "" {
+		if err := WriteBaseline(*writeBaseline, diags); err != nil {
+			fmt.Fprintf(stderr, "tgvet: %v\n", err)
+			return ExitError
 		}
-		if err := enc.Encode(diags); err != nil {
+		fmt.Fprintf(stderr, "tgvet: wrote %d finding(s) to %s\n", len(diags), *writeBaseline)
+		return ExitClean
+	}
+	if *baseline != "" {
+		base, err := ReadBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintf(stderr, "tgvet: %v\n", err)
+			return ExitError
+		}
+		diags = FilterBaseline(diags, base)
+	}
+	if *jsonOut {
+		if err := encodeJSON(stdout, diags, []Diagnostic{}); err != nil {
 			fmt.Fprintf(stderr, "tgvet: %v\n", err)
 			return ExitError
 		}
@@ -72,9 +111,25 @@ func Main(args []string, stdout, stderr io.Writer) int {
 	return ExitClean
 }
 
+// encodeJSON writes v as indented JSON, substituting empty for a nil
+// slice so consumers always see an array.
+func encodeJSON[T any](w io.Writer, v []T, empty []T) error {
+	if v == nil {
+		v = empty
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
 // Run loads the packages matching patterns (resolved relative to dir)
 // and returns the suite's unsuppressed diagnostics, with file paths
 // relative to the module root. An empty pattern list means ./...
+//
+// The whole module is loaded regardless of the patterns — the
+// interprocedural analyzers need every package's functions in the call
+// graph so taint chains and noalloc contracts cross package boundaries
+// — but only the requested packages are checked and reported.
 func Run(dir string, patterns []string) ([]Diagnostic, error) {
 	l, err := NewLoader(dir)
 	if err != nil {
@@ -84,13 +139,44 @@ func Run(dir string, patterns []string) ([]Diagnostic, error) {
 	if err != nil {
 		return nil, err
 	}
-	var diags []Diagnostic
-	for _, pkgDir := range dirs {
-		pkg, err := l.LoadDir(pkgDir)
+	modDirs, err := l.Walk(l.ModRoot)
+	if err != nil {
+		return nil, err
+	}
+	byDir := make(map[string]*Package)
+	var pkgs []*Package
+	load := func(d string) (*Package, error) {
+		key := filepath.Clean(d)
+		if pkg, ok := byDir[key]; ok {
+			return pkg, nil
+		}
+		pkg, err := l.LoadDir(d)
 		if err != nil {
 			return nil, err
 		}
-		diags = append(diags, Check(pkg)...)
+		byDir[key] = pkg
+		pkgs = append(pkgs, pkg)
+		return pkg, nil
+	}
+	for _, d := range modDirs {
+		if _, err := load(d); err != nil {
+			return nil, err
+		}
+	}
+	// Requested directories outside the module walk (explicitly named
+	// testdata, say) still join the module before the graph is built.
+	checked := make([]*Package, 0, len(dirs))
+	for _, d := range dirs {
+		pkg, err := load(d)
+		if err != nil {
+			return nil, err
+		}
+		checked = append(checked, pkg)
+	}
+	m := NewModule(pkgs)
+	var diags []Diagnostic
+	for _, pkg := range checked {
+		diags = append(diags, m.Check(pkg)...)
 	}
 	for i := range diags {
 		if rel, err := filepath.Rel(l.ModRoot, diags[i].File); err == nil {
@@ -98,6 +184,34 @@ func Run(dir string, patterns []string) ([]Diagnostic, error) {
 		}
 	}
 	return diags, nil
+}
+
+// Audit loads the packages matching patterns and returns every
+// well-formed //tgvet:allow annotation they carry, with file paths
+// relative to the module root.
+func Audit(dir string, patterns []string) ([]AllowEntry, error) {
+	l, err := NewLoader(dir)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := resolvePatterns(l, dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var entries []AllowEntry
+	for _, pkgDir := range dirs {
+		pkg, err := l.LoadDir(pkgDir)
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, CollectAllows(pkg)...)
+	}
+	for i := range entries {
+		if rel, err := filepath.Rel(l.ModRoot, entries[i].File); err == nil {
+			entries[i].File = filepath.ToSlash(rel)
+		}
+	}
+	return entries, nil
 }
 
 // resolvePatterns expands package patterns into package directories.

@@ -1,0 +1,58 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// FuzzAllowAnnot feeds arbitrary comment text through the annotation
+// parser (and the full suite behind it): whatever the comment says, the
+// pipeline must neither panic nor suppress anything it cannot attribute
+// to a well-formed //tgvet:allow. Seeds cover the malformed shapes the
+// unit tests pin down individually.
+func FuzzAllowAnnot(f *testing.F) {
+	f.Add("//tgvet:allow walltime(reason)")
+	f.Add("//tgvet:allow walltime()")
+	f.Add("//tgvet:allow")
+	f.Add("//tgvet:noalloc")
+	f.Add("//tgvet:allow walltime(unbalanced")
+	f.Add("//tgvet:allow walltime(nested (parens) in reason)")
+	f.Add("//tgvet:allow warptime(no such analyzer)")
+	f.Add("//tgvet:allow maporder( spaces )\n//tgvet:allow taint(stacked)")
+	f.Add("//tgvet:allow walltime(dangling)\n")
+	f.Add("// tgvet:allow walltime(leading space form)")
+	f.Add("//tgvet:allowwalltime(nospace)")
+	f.Add("//tgvet:")
+	f.Fuzz(func(t *testing.T, comment string) {
+		if strings.ContainsRune(comment, 0) {
+			t.Skip("NUL never survives gofmt'd source")
+		}
+		root := writeModule(t, map[string]string{
+			"go.mod": tinyGoMod,
+			"p/p.go": "package p\n\nfunc f() {}\n\n" + comment + "\n",
+		})
+		l, err := NewLoader(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkg, err := l.LoadDir(filepath.Join(root, "p"))
+		if err != nil {
+			return // unparseable source is the loader's error, not a crash
+		}
+		allows, _ := parseAnnotations(pkg)
+		// Whatever parsed must name only registered analyzers: the allow
+		// set can never invent a suppression for an unknown name.
+		for _, lines := range allows {
+			for _, names := range lines {
+				for name := range names {
+					if !analyzerNames[name] {
+						t.Fatalf("allow set contains unknown analyzer %q", name)
+					}
+				}
+			}
+		}
+		// And the full pipeline runs to completion on the same input.
+		_ = Check(pkg)
+	})
+}

@@ -1,0 +1,50 @@
+package analysis_test
+
+import (
+	"os"
+	"testing"
+
+	"telegraphos/internal/analysis"
+)
+
+// TestSelfCheck runs the full tgvet suite over internal/analysis
+// itself: the analyzers must hold their own code to the contracts they
+// enforce (the two map-iteration sites in the taint fixed point carry
+// reasoned //tgvet:allow annotations — visible in `tgvet -audit`).
+func TestSelfCheck(t *testing.T) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Run(cwd, []string{"."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("self-check finding: %s", d)
+	}
+}
+
+// TestHotPathPackagesClean pins the migration: the interprocedural
+// suite — taint chains, the //tgvet:noalloc contracts on the event
+// pool, 4-ary heaps, batched Chan delivery, and trace rings, and the
+// handle lifetime rules — holds over the simulator's hot-path packages
+// with zero unsuppressed findings. The runtime counterparts are the
+// AllocsPerRun gates in internal/sim and internal/trace and the
+// shard-invariance sweeps in internal/simtest; this is the static half
+// of the same regression fence.
+func TestHotPathPackagesClean(t *testing.T) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Run(cwd, []string{
+		"../sim", "../trace", "../switchfab", "../link", "../collective",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("hot-path finding: %s", d)
+	}
+}

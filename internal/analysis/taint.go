@@ -1,0 +1,250 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// AnalyzerTaint proves the determinism contract interprocedurally:
+// no function in simulation code may reach a nondeterminism source —
+// wall-clock reads, global math/rand, environment reads, or
+// goroutine/host identity — through any chain of calls. The walltime
+// and globalrand analyzers flag direct uses; this one closes their
+// blind spot behind wrappers: a helper that calls time.Now() taints
+// every function that (transitively) calls the helper, and each
+// tainted call site is reported with the full chain down to the source.
+//
+// Sanctioning is at the source, not the symptom: a //tgvet:allow
+// walltime/globalrand/taint annotation on the source line declares the
+// nondeterminism genuine (host-side benchmarking, CI calibration) and
+// kills the entire chain above it — callers of a sanctioned source are
+// not tainted. An //tgvet:allow taint(reason) on a call site stops
+// propagation through that edge alone.
+var AnalyzerTaint = &Analyzer{
+	Name: "taint",
+	Doc:  "no call chain from simulation code may reach wall-clock, global rand, env, or host-identity sources",
+	Run:  runTaint,
+}
+
+// taintExtraFuncs are nondeterminism sources with no dedicated
+// analyzer of their own: taint reports direct calls to these itself.
+var taintExtraFuncs = map[string]map[string]bool{
+	"os":      {"Getenv": true, "LookupEnv": true, "Environ": true, "Hostname": true, "Getpid": true, "Getppid": true},
+	"runtime": {"NumGoroutine": true, "NumCPU": true, "GOMAXPROCS": true},
+}
+
+// directSource is one unsanctioned nondeterminism source call inside a
+// function body.
+type directSource struct {
+	desc    string // e.g. "time.Now", "math/rand (rand.Intn)"
+	pos     token.Pos
+	covered bool // a dedicated analyzer (walltime/globalrand) reports it
+}
+
+// taintStep is one hop of a function's witness chain toward a source.
+type taintStep struct {
+	callee string    // next function key on the chain
+	pos    token.Pos // call site inside the tainted function
+}
+
+// taintFacts is the module-wide fixed point: which functions reach a
+// source, and a shortest witness hop for each.
+type taintFacts struct {
+	direct map[string][]directSource
+	steps  map[string]taintStep
+}
+
+// taintFacts computes (once) the module's taint closure.
+func (m *Module) taintFacts() *taintFacts {
+	if m.taint != nil {
+		return m.taint
+	}
+	g := m.Graph()
+	facts := &taintFacts{
+		direct: make(map[string][]directSource),
+		steps:  make(map[string]taintStep),
+	}
+
+	keys := make([]string, 0, len(g.Funcs))
+	//tgvet:allow maporder(keys are sorted immediately below; all traversal is over the sorted slice)
+	for k := range g.Funcs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	// Seed: functions whose own bodies contain an unsanctioned source.
+	var queue []string
+	for _, k := range keys {
+		node := g.Funcs[k]
+		srcs := directSourcesIn(m, node)
+		if len(srcs) > 0 {
+			facts.direct[k] = srcs
+			queue = append(queue, k)
+		}
+	}
+
+	// Reverse edges, with sanctioned call sites removed: an
+	// //tgvet:allow taint on the call line stops propagation there.
+	reverse := make(map[string][]struct {
+		caller string
+		pos    token.Pos
+	})
+	for _, k := range keys {
+		node := g.Funcs[k]
+		for _, e := range node.Calls {
+			if _, inModule := g.Funcs[e.Callee]; !inModule {
+				continue
+			}
+			pos := node.Pkg.Fset.Position(e.Pos)
+			if m.allowedAt(node.Pkg, pos.Filename, pos.Line, "taint") {
+				continue
+			}
+			reverse[e.Callee] = append(reverse[e.Callee], struct {
+				caller string
+				pos    token.Pos
+			}{k, e.Pos})
+		}
+	}
+
+	// BFS from the seeds: shortest witness chains, deterministic order.
+	for len(queue) > 0 {
+		k := queue[0]
+		queue = queue[1:]
+		for _, r := range reverse[k] {
+			if _, seeded := facts.direct[r.caller]; seeded {
+				continue // already a source itself
+			}
+			if _, seen := facts.steps[r.caller]; seen {
+				continue
+			}
+			facts.steps[r.caller] = taintStep{callee: k, pos: r.pos}
+			queue = append(queue, r.caller)
+		}
+	}
+	m.taint = facts
+	return facts
+}
+
+// directSourcesIn scans one function body for unsanctioned
+// nondeterminism sources.
+func directSourcesIn(m *Module, node *FuncNode) []directSource {
+	pkg := node.Pkg
+	info := pkg.Info
+	filename := pkg.Fset.Position(node.Decl.Pos()).Filename
+	// The simulator's own RNG is the sanctioned home of raw entropy
+	// plumbing, same exemption the globalrand analyzer applies.
+	if filepath.Base(filename) == globalrandExemptFile && pkg.ImportPath == globalrandExemptPkg {
+		return nil
+	}
+	var srcs []directSource
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		path := importedPath(info, sel.X)
+		var desc string
+		var covered bool
+		var sanctions []string
+		switch {
+		case path == "time" && walltimeFuncs[sel.Sel.Name]:
+			desc, covered = "time."+sel.Sel.Name, true
+			sanctions = []string{"walltime", "taint"}
+		case isMathRand(path):
+			desc, covered = fmt.Sprintf("math/rand (rand.%s)", sel.Sel.Name), true
+			sanctions = []string{"globalrand", "taint"}
+		case taintExtraFuncs[path] != nil && taintExtraFuncs[path][sel.Sel.Name]:
+			desc, covered = path+"."+sel.Sel.Name, false
+			sanctions = []string{"taint"}
+		default:
+			return true
+		}
+		pos := pkg.Fset.Position(sel.Pos())
+		if m.allowedAt(pkg, pos.Filename, pos.Line, sanctions...) {
+			return true // sanctioned at the source: the chain dies here
+		}
+		srcs = append(srcs, directSource{desc: desc, pos: sel.Pos(), covered: covered})
+		return true
+	})
+	return srcs
+}
+
+// chainTo renders the witness chain from key down to its source, e.g.
+// "stepClock → hostStamp → time.Now at clock.go:12".
+func (facts *taintFacts) chainTo(m *Module, g *CallGraph, key string) string {
+	modPath := ""
+	if node := g.Funcs[key]; node != nil {
+		modPath = modulePathOf(node.Pkg)
+	}
+	var parts []string
+	for hop := 0; hop < 64; hop++ { // bound: chains are acyclic by construction, belt and braces
+		parts = append(parts, shortKey(modPath, key))
+		if srcs := facts.direct[key]; len(srcs) > 0 {
+			node := g.Funcs[key]
+			pos := node.Pkg.Fset.Position(srcs[0].pos)
+			parts = append(parts, fmt.Sprintf("%s at %s:%d", srcs[0].desc, filepath.Base(pos.Filename), pos.Line))
+			break
+		}
+		step, ok := facts.steps[key]
+		if !ok {
+			break
+		}
+		key = step.callee
+	}
+	return strings.Join(parts, " → ")
+}
+
+// modulePathOf recovers the module path prefix from a package's import
+// path and directory-relative layout; for key shortening only.
+func modulePathOf(pkg *Package) string {
+	// ImportPath is "<module>/<rel>" or "<module>"; we cannot recover
+	// the split without the loader, but the common case — all analyzed
+	// code under one module — only needs a shared prefix heuristic:
+	// trim up to the first path element.
+	if i := strings.Index(pkg.ImportPath, "/"); i > 0 {
+		return pkg.ImportPath[:i]
+	}
+	return pkg.ImportPath
+}
+
+func runTaint(pass *Pass) {
+	facts := pass.Mod.taintFacts()
+	g := pass.Mod.Graph()
+
+	keys := make([]string, 0, len(g.Funcs))
+	//tgvet:allow maporder(keys are sorted immediately below before any report is emitted)
+	for k := range g.Funcs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	for _, k := range keys {
+		node := g.Funcs[k]
+		if node.Pkg != pass.Pkg {
+			continue
+		}
+		if srcs, isSource := facts.direct[k]; isSource {
+			// Direct wall-clock/rand calls are the walltime/globalrand
+			// analyzers' findings; taint owns only the sources that have
+			// no dedicated analyzer.
+			for _, s := range srcs {
+				if !s.covered {
+					pass.Reportf(s.pos,
+						"nondeterministic source %s in simulation code: a run must be a pure function of its seed and config, and host environment/identity reads break bit-identical traces across shard counts — plumb the value through params, or annotate //tgvet:allow taint(reason)",
+						s.desc)
+				}
+			}
+			continue
+		}
+		if step, tainted := facts.steps[k]; tainted {
+			modPath := modulePathOf(node.Pkg)
+			pass.Reportf(step.pos,
+				"call to %s transitively reaches nondeterministic source (%s): the determinism contract is transitive, and the walltime/globalrand analyzers cannot see through wrappers — fix or sanction the source line itself (its //tgvet:allow kills this whole chain), or annotate this call //tgvet:allow taint(reason)",
+				shortKey(modPath, step.callee), facts.chainTo(pass.Mod, g, k))
+		}
+	}
+}

@@ -142,8 +142,8 @@ func pdesRun(nodes, shards, ops int) (wall time.Duration, events, critPath uint6
 // panics if they diverge.
 func PDESSweep(nodeCounts, shardCounts []int, ops int) *PDESReport {
 	rep := &PDESReport{
-		CPUs:       runtime.NumCPU(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		CPUs:       runtime.NumCPU(),      //tgvet:allow taint(host metadata for the report banner; never feeds simulation state)
+		GOMAXPROCS: runtime.GOMAXPROCS(0), //tgvet:allow taint(host metadata for the report banner; never feeds simulation state)
 		OpsPerNode: ops,
 	}
 	for _, n := range nodeCounts {

@@ -22,6 +22,8 @@ type eqEnt struct {
 
 // before reports whether a orders strictly ahead of b: earlier time,
 // FIFO (schedule sequence) among simultaneous events.
+//
+//tgvet:noalloc
 func (a eqEnt) before(b eqEnt) bool {
 	if a.when != b.when {
 		return a.when < b.when
@@ -53,13 +55,16 @@ type heap4 struct {
 
 func newHeap4() *heap4 { return &heap4{} }
 
+//tgvet:noalloc
 func (h *heap4) len() int { return len(h.a) }
 
+//tgvet:noalloc
 func (h *heap4) push(e eqEnt) {
-	h.a = append(h.a, e)
+	h.a = append(h.a, e) //tgvet:allow noalloc(heap growth doubles the backing array; steady state reuses it)
 	h.up(len(h.a) - 1)
 }
 
+//tgvet:noalloc
 func (h *heap4) peek() (eqEnt, bool) {
 	if len(h.a) == 0 {
 		return eqEnt{}, false
@@ -67,6 +72,7 @@ func (h *heap4) peek() (eqEnt, bool) {
 	return h.a[0], true
 }
 
+//tgvet:noalloc
 func (h *heap4) pop() eqEnt {
 	a := h.a
 	top := a[0]
@@ -80,6 +86,7 @@ func (h *heap4) pop() eqEnt {
 	return top
 }
 
+//tgvet:noalloc
 func (h *heap4) up(i int) {
 	a := h.a
 	e := a[i]
@@ -94,6 +101,7 @@ func (h *heap4) up(i int) {
 	a[i] = e
 }
 
+//tgvet:noalloc
 func (h *heap4) down(i int) {
 	a := h.a
 	n := len(a)
@@ -123,13 +131,14 @@ func (h *heap4) down(i int) {
 	a[i] = e
 }
 
+//tgvet:noalloc
 func (h *heap4) compact(free func(*eventSlot)) {
 	live := h.a[:0]
 	for _, e := range h.a {
 		if e.slot.canceled {
-			free(e.slot)
+			free(e.slot) //tgvet:allow noalloc(free is the engine's pool.put bound at the single maybeCompact call site; see engine.go)
 		} else {
-			live = append(live, e)
+			live = append(live, e) //tgvet:allow noalloc(append into h.a's own prefix; capacity is already there by construction)
 		}
 	}
 	for i := len(live); i < len(h.a); i++ {

@@ -13,11 +13,13 @@ type msgQueue struct {
 	dirty bool // absorbed batches pending a rebuild
 }
 
+//tgvet:noalloc
 func (q *msgQueue) len() int { return len(q.a) }
 
 // less orders messages by (at, chid, seq) — build-time identities only,
 // which is what makes delivery order shard-invariant. The (chid, seq)
 // pair is pre-packed into one key word, so the tiebreak is one compare.
+//tgvet:noalloc
 func msgBefore(a, b xmsg) bool {
 	if a.at != b.at {
 		return a.at < b.at
@@ -25,11 +27,12 @@ func msgBefore(a, b xmsg) bool {
 	return a.key < b.key
 }
 
+//tgvet:noalloc
 func (q *msgQueue) push(m xmsg) {
 	if q.dirty {
 		q.fix()
 	}
-	q.a = append(q.a, m)
+	q.a = append(q.a, m) //tgvet:allow noalloc(heap growth doubles the backing array; steady state reuses it)
 	a := q.a
 	i := len(a) - 1
 	for i > 0 {
@@ -43,6 +46,7 @@ func (q *msgQueue) push(m xmsg) {
 	a[i] = m
 }
 
+//tgvet:noalloc
 func (q *msgQueue) peek() (xmsg, bool) {
 	if q.dirty {
 		q.fix()
@@ -53,6 +57,7 @@ func (q *msgQueue) peek() (xmsg, bool) {
 	return q.a[0], true
 }
 
+//tgvet:noalloc
 func (q *msgQueue) pop() xmsg {
 	if q.dirty {
 		q.fix()
@@ -69,6 +74,7 @@ func (q *msgQueue) pop() xmsg {
 	return top
 }
 
+//tgvet:noalloc
 func (q *msgQueue) down(i int) {
 	a := q.a
 	n := len(a)
@@ -100,14 +106,16 @@ func (q *msgQueue) down(i int) {
 // absorb appends a batch of messages without restoring heap order; the
 // next peek/pop/push pays one O(n) rebuild. Only called at a barrier,
 // when no shard is executing.
+//tgvet:noalloc
 func (q *msgQueue) absorb(batch []xmsg) {
-	q.a = append(q.a, batch...)
+	q.a = append(q.a, batch...) //tgvet:allow noalloc(batch absorption grows the inbox once; the array is reused across rounds)
 	q.dirty = true
 }
 
 // fix rebuilds the heap property after absorbed batches. The n>1 guard
 // mirrors heap4.compact: (0-2)/4 truncates to 0, so an empty queue would
 // otherwise sift a phantom root.
+//tgvet:noalloc
 func (q *msgQueue) fix() {
 	q.dirty = false
 	if len(q.a) > 1 {

@@ -33,12 +33,14 @@ type eventPool struct {
 }
 
 // get returns a fresh slot, growing the pool by one chunk when empty.
+//
+//tgvet:noalloc
 func (p *eventPool) get(e *Engine) *eventSlot {
 	if len(p.free) == 0 {
-		chunk := make([]eventSlot, poolChunk)
+		chunk := make([]eventSlot, poolChunk) //tgvet:allow noalloc(pool growth: one allocation per poolChunk events, amortizing to zero in steady state)
 		for i := range chunk {
 			chunk[i].eng = e
-			p.free = append(p.free, &chunk[i])
+			p.free = append(p.free, &chunk[i]) //tgvet:allow noalloc(free-list append during the same amortized chunk growth)
 		}
 	}
 	s := p.free[len(p.free)-1]
@@ -48,9 +50,11 @@ func (p *eventPool) get(e *Engine) *eventSlot {
 
 // put recycles a slot: the generation bump invalidates every outstanding
 // handle, and dropping fn releases the callback closure to the GC.
+//
+//tgvet:noalloc
 func (p *eventPool) put(s *eventSlot) {
 	s.gen++
 	s.fn = nil
 	s.canceled = false
-	p.free = append(p.free, s)
+	p.free = append(p.free, s) //tgvet:allow noalloc(the free list's capacity was created by get's chunk growth; put never exceeds it in steady state)
 }

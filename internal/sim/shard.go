@@ -418,6 +418,7 @@ func (g *Group) rebuildDist() {
 // default batched mode. Called only between rounds, when no shard is
 // executing. The staging buffers are retained and reused, so a warmed-up
 // barrier allocates nothing.
+//tgvet:noalloc
 func (g *Group) flush() {
 	for _, e := range g.engines {
 		for d, batch := range e.stage {
@@ -518,6 +519,7 @@ func (ch *Chan) MinDelay() Time { return ch.minDelay }
 // cross-shard sends are staged in the source engine's per-destination
 // buffer and handed over at the next barrier. Neither path allocates in
 // steady state.
+//tgvet:noalloc
 func (ch *Chan) Send(delay Time, fn func()) {
 	if delay < ch.minDelay {
 		delay = ch.minDelay
@@ -531,6 +533,6 @@ func (ch *Chan) Send(delay Time, fn func()) {
 		ch.dst.inbox.push(m)
 	} else {
 		src := ch.src
-		src.stage[ch.dst.shard] = append(src.stage[ch.dst.shard], m)
+		src.stage[ch.dst.shard] = append(src.stage[ch.dst.shard], m) //tgvet:allow noalloc(staging buffers grow to the high-water mark once and are reused every barrier)
 	}
 }

@@ -168,6 +168,8 @@ const (
 // FoldHash folds one event into a running FNV-1a fingerprint: every
 // field in a fixed little-endian encoding, byte by byte. Folding a
 // stream event-at-a-time from HashInit equals hashing the batch.
+//
+//tgvet:noalloc
 func FoldHash(h uint64, e Event) uint64 {
 	var buf [8 * 5]byte
 	put64(buf[0:], uint64(e.At))
@@ -276,6 +278,7 @@ func (l *EventLog) Hash() uint64 {
 }
 
 // put64 stores v little-endian.
+//tgvet:noalloc
 func put64(b []byte, v uint64) {
 	_ = b[7]
 	b[0] = byte(v)
